@@ -1,0 +1,166 @@
+//! Exact affine classification for functions of up to four variables.
+//!
+//! The space of `n ≤ 4`-variable functions has at most 65 536 members, so we
+//! flood every affine orbit once per variable count and store, per function,
+//! its orbit representative plus a predecessor pointer for operation-path
+//! reconstruction. Tables are built lazily and shared process-wide.
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+use xag_tt::{AffineOp, Tt};
+
+use crate::generators::generators;
+use crate::Classification;
+
+/// Largest variable count handled by the exact tables.
+pub const MAX_EXACT_VARS: usize = 4;
+
+struct Table {
+    /// Representative truth table per function.
+    rep: Vec<u16>,
+    /// Predecessor function on the BFS path toward the representative.
+    parent: Vec<u16>,
+    /// Index into `generators(n)` of the op with `op(parent) = function`;
+    /// `u8::MAX` marks representatives themselves.
+    op: Vec<u8>,
+    gens: Vec<AffineOp>,
+    classes: usize,
+}
+
+fn build_table(n: usize) -> Table {
+    let size = 1usize << (1usize << n);
+    let gens = generators(n);
+    let mut rep = vec![u16::MAX; size];
+    let mut parent = vec![0u16; size];
+    let mut op = vec![u8::MAX; size];
+    let mut visited = vec![false; size];
+    let mut classes = 0;
+
+    // Scan functions in increasing order; the first unvisited function of an
+    // orbit is automatically its lexicographic minimum.
+    for f_bits in 0..size {
+        if visited[f_bits] {
+            continue;
+        }
+        classes += 1;
+        visited[f_bits] = true;
+        rep[f_bits] = f_bits as u16;
+        op[f_bits] = u8::MAX;
+        let mut queue = VecDeque::new();
+        queue.push_back(f_bits);
+        while let Some(g_bits) = queue.pop_front() {
+            let g = Tt::from_bits(g_bits as u64, n);
+            for (k, &gen) in gens.iter().enumerate() {
+                let h = gen.apply(g).bits() as usize;
+                if !visited[h] {
+                    visited[h] = true;
+                    rep[h] = f_bits as u16;
+                    parent[h] = g_bits as u16;
+                    op[h] = k as u8;
+                    queue.push_back(h);
+                }
+            }
+        }
+    }
+    Table {
+        rep,
+        parent,
+        op,
+        gens,
+        classes,
+    }
+}
+
+fn table(n: usize) -> &'static Table {
+    static TABLES: [OnceLock<Table>; 5] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!(n <= MAX_EXACT_VARS, "exact tables cover up to 4 variables");
+    TABLES[n].get_or_init(|| build_table(n))
+}
+
+/// Exactly classifies a function of at most four variables.
+///
+/// # Panics
+///
+/// Panics if `f` has more than four variables.
+pub fn classify(f: Tt) -> Classification {
+    let n = f.vars();
+    let t = table(n);
+    let f_bits = f.bits() as usize;
+    let rep = Tt::from_bits(t.rep[f_bits] as u64, n);
+    // Walk predecessor pointers: each stored op maps parent → function, and
+    // every affine op is an involution, so the same op maps function →
+    // parent. Collecting ops root-ward yields the f → representative path.
+    let mut ops = Vec::new();
+    let mut cur = f_bits;
+    while t.op[cur] != u8::MAX {
+        ops.push(t.gens[t.op[cur] as usize]);
+        cur = t.parent[cur] as usize;
+    }
+    debug_assert_eq!(cur, t.rep[f_bits] as usize);
+    Classification {
+        representative: rep,
+        ops,
+        exact: true,
+    }
+}
+
+/// Number of affine classes of `n`-variable functions (`n ≤ 4`).
+///
+/// # Panics
+///
+/// Panics if `n > 4`.
+pub fn count_classes(n: usize) -> usize {
+    table(n).classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vars_has_one_class() {
+        // Constants 0 and 1 are related by output complement.
+        assert_eq!(count_classes(0), 1);
+    }
+
+    #[test]
+    fn representatives_are_orbit_minima() {
+        // For every 3-variable function, the representative is ≤ the
+        // function and classification is idempotent.
+        for bits in 0..256u64 {
+            let f = Tt::from_bits(bits, 3);
+            let c = classify(f);
+            assert!(c.representative.bits() <= bits);
+            let c2 = classify(c.representative);
+            assert_eq!(c2.representative, c.representative);
+            assert!(c2.ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn replay_reaches_representative_for_all_4var_functions() {
+        // Spot-check replay on a stride through all 65 536 functions.
+        for bits in (0..65_536u64).step_by(17) {
+            let f = Tt::from_bits(bits, 4);
+            let c = classify(f);
+            assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative);
+        }
+    }
+
+    #[test]
+    fn class_members_share_representatives() {
+        let f = Tt::from_bits(0xcafe, 4);
+        let base = classify(f).representative;
+        for gen in generators(4) {
+            let g = gen.apply(f);
+            assert_eq!(classify(g).representative, base, "{gen:?}");
+        }
+    }
+}

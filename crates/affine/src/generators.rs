@@ -1,0 +1,38 @@
+use xag_tt::AffineOp;
+
+/// The generator set of the affine group action used by both classifiers:
+/// output complement, input complements, disjoint translations, pairwise
+/// translations, and swaps (swaps are products of three translations but are
+/// included to shorten operation sequences).
+pub fn generators(n: usize) -> Vec<AffineOp> {
+    let mut gens = vec![AffineOp::FlipOutput];
+    for i in 0..n {
+        gens.push(AffineOp::FlipInput(i));
+        gens.push(AffineOp::XorOutput(i));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                gens.push(AffineOp::Translate { dst: i, src: j });
+            }
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            gens.push(AffineOp::Swap(i, j));
+        }
+    }
+    gens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_count() {
+        // 1 + 2n + n(n-1) + n(n-1)/2
+        assert_eq!(generators(3).len(), 1 + 6 + 6 + 3);
+        assert_eq!(generators(6).len(), 1 + 12 + 30 + 15);
+    }
+}

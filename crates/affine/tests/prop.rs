@@ -1,0 +1,78 @@
+//! Property-based tests for affine classification.
+
+use proptest::prelude::*;
+use xag_affine::{AffineClassifier, ClassifyConfig};
+use xag_tt::{AffineOp, Tt};
+
+fn arb_tt() -> impl Strategy<Value = Tt> {
+    (any::<u64>(), 1usize..=6).prop_map(|(bits, vars)| Tt::from_bits(bits, vars))
+}
+
+fn arb_op(vars: usize) -> impl Strategy<Value = AffineOp> {
+    prop_oneof![
+        (0..vars, 0..vars)
+            .prop_filter("distinct", |(i, j)| i != j)
+            .prop_map(|(i, j)| AffineOp::Swap(i, j)),
+        (0..vars).prop_map(AffineOp::FlipInput),
+        Just(AffineOp::FlipOutput),
+        (0..vars, 0..vars)
+            .prop_filter("distinct", |(i, j)| i != j)
+            .prop_map(|(dst, src)| AffineOp::Translate { dst, src }),
+        (0..vars).prop_map(AffineOp::XorOutput),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_always_reaches_the_representative(f in arb_tt()) {
+        let mut cls = AffineClassifier::new();
+        let c = cls.classify(f);
+        prop_assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative);
+    }
+
+    #[test]
+    fn classification_is_idempotent(f in arb_tt()) {
+        let mut cls = AffineClassifier::new();
+        let c = cls.classify(f);
+        let c2 = cls.classify(c.representative);
+        prop_assert_eq!(c2.representative, c.representative);
+    }
+
+    #[test]
+    fn exact_classifier_is_class_invariant(
+        bits in any::<u16>(),
+        ops in proptest::collection::vec(arb_op(4), 1..6),
+    ) {
+        // For ≤ 4 variables classification is exact: any chain of affine
+        // operations lands in the same class.
+        let f = Tt::from_bits(bits as u64, 4);
+        let g = AffineOp::apply_all(f, &ops);
+        let mut cls = AffineClassifier::new();
+        prop_assert_eq!(cls.classify(f).representative, cls.classify(g).representative);
+    }
+
+    #[test]
+    fn tight_budgets_stay_sound(f in arb_tt(), limit in 10usize..500) {
+        let mut cls = AffineClassifier::with_config(ClassifyConfig {
+            beam_width: 2,
+            iteration_limit: limit,
+            patience: 1,
+        });
+        let c = cls.classify(f);
+        prop_assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative);
+    }
+
+    #[test]
+    fn representative_is_linear_free_for_wide_functions(bits in any::<u64>()) {
+        let f = Tt::from_bits(bits, 6);
+        let mut cls = AffineClassifier::new();
+        let rep = cls.classify(f).representative;
+        let anf = rep.anf();
+        prop_assert_eq!(anf & 1, 0);
+        for i in 0..6 {
+            prop_assert_eq!((anf >> (1u64 << i)) & 1, 0, "linear term x{} survived", i);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion wrapper around the Table-1 experiment (reduced scale): each
+//! benchmark measures the full flow (baseline + MC rewriting to
+//! convergence) on one EPFL circuit and reports the achieved AND counts
+//! through Criterion's output.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xag_bench::run_flow;
+use xag_circuits::epfl::{epfl_suite, Scale};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // Keep the per-iteration cost tractable: a representative subset is
+    // measured here; the `table1` binary prints the full table.
+    let selected = ["adder", "bar", "square", "int2float", "priority"];
+    for bench in epfl_suite(Scale::Reduced) {
+        if !selected.contains(&bench.name) {
+            continue;
+        }
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let flow = run_flow(black_box(&bench.xag), 1, 15);
+                black_box(flow.converged.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(table1, bench_table1);
+criterion_main!(table1);

@@ -1,0 +1,53 @@
+//! Database and classification statistics (paper §4.1).
+//!
+//! The paper precomputes `XAG_DB`, one MC-optimum circuit per affine class
+//! representative (147 998 of the 150 357 six-variable classes). This
+//! reproduction synthesizes entries on demand; this tool reports what the
+//! lazily built database looks like after classifying a function sample:
+//! entry count, the AND-gate histogram of the entries, and the
+//! classification cache behaviour.
+//!
+//! Usage: `cargo run --release -p xag-bench --bin db_stats [samples]`
+
+use xag_mc::McOptimizer;
+use xag_tt::Tt;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+
+    let mut opt = McOptimizer::new();
+
+    // Exhaustive over ≤3-variable functions, then pseudo-random wider ones.
+    let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
+    let mut record = |frag: &xag_network::XagFragment| {
+        *histogram.entry(frag.num_ands()).or_insert(0) += 1;
+    };
+    for bits in 0..256u64 {
+        record(&opt.candidate_for_cut(Tt::from_bits(bits, 3)));
+    }
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    for i in 0..samples {
+        state = state
+            .rotate_left(23)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(i as u64);
+        let vars = 4 + (i % 3); // 4, 5, 6
+        record(&opt.candidate_for_cut(Tt::from_bits(state, vars)));
+    }
+
+    println!("functions classified : {}", 256 + samples);
+    println!("database entries     : {}", opt.db_size());
+    println!("entry AND histogram (per classified function):");
+    for (ands, count) in &histogram {
+        println!("  {ands:>2} AND gates: {count}");
+    }
+    println!();
+    println!(
+        "(the paper's precomputed XAG_DB holds 147 998 representatives in a \
+         2 339 563-node XAG; this database is lazy, so it only holds what \
+         the run touched)"
+    );
+}

@@ -1,0 +1,40 @@
+//! Developer tool: trace per-round AND counts while optimizing a ripple
+//! adder, to inspect convergence behaviour.
+//!
+//! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars]`
+
+use xag_circuits::arith::{add_ripple, input_word, output_word};
+use xag_mc::{McOptimizer, RewriteParams};
+use xag_network::{Signal, Xag};
+
+fn main() {
+    let arg = |i: usize, default: usize| -> usize {
+        std::env::args()
+            .nth(i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let bits = arg(1, 16);
+    let cut_limit = arg(2, 12);
+    let cut_size = arg(3, 6);
+    let exact_vars = arg(4, 4);
+
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let (s, c) = add_ripple(&mut x, &a, &b, Signal::CONST0);
+    output_word(&mut x, &s);
+    x.output(c);
+    println!("initial: {} AND {} XOR", x.num_ands(), x.num_xors());
+
+    let mut params = RewriteParams::default();
+    params.cut_params.cut_limit = cut_limit;
+    params.cut_params.cut_size = cut_size;
+    params.synth_config.exact_search_max_vars = exact_vars;
+    let mut opt = McOptimizer::with_params(params);
+    let stats = opt.run_to_convergence(&mut x);
+    for (i, r) in stats.rounds.iter().enumerate() {
+        println!("round {i}: {r}");
+    }
+    println!("final: {} AND {} XOR ({stats})", x.num_ands(), x.num_xors());
+}

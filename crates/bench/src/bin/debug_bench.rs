@@ -1,0 +1,44 @@
+//! Developer tool: run the experiment flow phases on one named EPFL
+//! benchmark with verbose progress, to localize pathological behaviour.
+
+use xag_circuits::epfl::{epfl_suite, Scale};
+use xag_mc::{McOptimizer, RewriteParams};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "div".into());
+    let suite = epfl_suite(Scale::Reduced);
+    let bench = suite
+        .iter()
+        .find(|b| b.name == name)
+        .expect("unknown benchmark");
+    let mut xag = bench.xag.cleanup();
+    println!(
+        "{name}: {} AND {} XOR ({} nodes)",
+        xag.num_ands(),
+        xag.num_xors(),
+        xag.capacity()
+    );
+    println!("— size baseline —");
+    let mut size_opt = McOptimizer::with_params(RewriteParams {
+        max_rounds: 2,
+        ..RewriteParams::size_baseline()
+    });
+    for i in 0..2 {
+        let s = size_opt.run_once(&mut xag);
+        println!("size round {i}: {s} (capacity {})", xag.capacity());
+    }
+    xag = xag.cleanup();
+    println!("— mc rewriting —");
+    let mut opt = McOptimizer::new();
+    for i in 0..30 {
+        let s = opt.run_once(&mut xag);
+        println!(
+            "mc round {i}: {s} (capacity {}, db {})",
+            xag.capacity(),
+            opt.db_size()
+        );
+        if s.rewrites_applied == 0 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates the paper's Table 1 (EPFL benchmarks).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p xag-bench --bin table1 [--full]
+//! ```
+//!
+//! Without `--full` the suite runs at reduced word widths (seconds instead
+//! of hours); the improvement *shape* — arithmetic benchmarks gaining far
+//! more than random-control ones — is preserved at either scale.
+
+use xag_bench::{normalized_geomean, run_flow, TableRow};
+use xag_circuits::epfl::{epfl_suite, Scale};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Reduced };
+    let max_rounds = if full { 60 } else { 30 };
+
+    println!("Table 1: EPFL benchmarks ({scale:?} scale)");
+    println!("{}", TableRow::header());
+    println!("{}", "-".repeat(TableRow::header().len()));
+
+    let mut arith_pairs_one = Vec::new();
+    let mut arith_pairs_conv = Vec::new();
+    let mut ctrl_pairs_one = Vec::new();
+    let mut ctrl_pairs_conv = Vec::new();
+
+    for bench in epfl_suite(scale) {
+        let flow = run_flow(&bench.xag, 2, max_rounds);
+        let row = TableRow {
+            name: bench.name.to_string(),
+            inputs: bench.xag.num_inputs(),
+            outputs: bench.xag.num_outputs(),
+            flow: flow.clone(),
+        };
+        println!("{}", row.format());
+        let one = (flow.initial.0, flow.one_round.0);
+        let conv = (flow.initial.0, flow.converged.0);
+        if bench.arithmetic {
+            arith_pairs_one.push(one);
+            arith_pairs_conv.push(conv);
+        } else {
+            ctrl_pairs_one.push(one);
+            ctrl_pairs_conv.push(conv);
+        }
+    }
+
+    println!();
+    println!(
+        "Normalized geometric mean (arithmetic):     one round {:.2}, convergence {:.2}  (paper: 0.60 / 0.49)",
+        normalized_geomean(&arith_pairs_one),
+        normalized_geomean(&arith_pairs_conv)
+    );
+    println!(
+        "Normalized geometric mean (random-control): one round {:.2}, convergence {:.2}  (paper: 0.90 / 0.87)",
+        normalized_geomean(&ctrl_pairs_one),
+        normalized_geomean(&ctrl_pairs_conv)
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's Table 2 (MPC/FHE benchmarks).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p xag-bench --bin table2 [--heavy] [--rounds N]
+//! ```
+//!
+//! Without `--heavy` only the arithmetic rows run (adders, multiplier,
+//! comparators — seconds). With `--heavy` the block ciphers and hash
+//! functions are included; `--rounds N` caps the until-convergence loop on
+//! those (default 3; the paper let them run to full convergence on a Xeon,
+//! spending hours on SHA-256).
+
+use xag_bench::{normalized_geomean, run_flow, TableRow};
+use xag_circuits::mpc::mpc_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let heavy = args.iter().any(|a| a == "--heavy");
+    let rounds: usize = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    println!("Table 2: MPC and FHE benchmarks");
+    println!("{}", TableRow::header());
+    println!("{}", "-".repeat(TableRow::header().len()));
+
+    let mut pairs_one = Vec::new();
+    let mut pairs_conv = Vec::new();
+    for bench in mpc_suite(heavy) {
+        // The published MPC circuits are already size-optimized, so no
+        // baseline pass; heavy entries get a capped convergence loop.
+        let max_rounds = if bench.heavy { rounds } else { 50 };
+        let flow = run_flow(&bench.xag, 0, max_rounds);
+        let row = TableRow {
+            name: bench.name.to_string(),
+            inputs: bench.xag.num_inputs(),
+            outputs: bench.xag.num_outputs(),
+            flow: flow.clone(),
+        };
+        println!("{}", row.format());
+        pairs_one.push((flow.initial.0, flow.one_round.0));
+        pairs_conv.push((flow.initial.0, flow.converged.0));
+    }
+
+    println!();
+    println!(
+        "Normalized geometric mean: one round {:.2}, convergence {:.2}  (paper: 0.68 / 0.56)",
+        normalized_geomean(&pairs_one),
+        normalized_geomean(&pairs_conv)
+    );
+    if !heavy {
+        println!("(run with --heavy to include AES, DES, MD5, SHA-1, SHA-256)");
+    }
+}

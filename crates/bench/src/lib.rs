@@ -1,0 +1,13 @@
+//! Experiment harness for the DAC'19 reproduction.
+//!
+//! The [`experiment`] module runs the paper's flow on a benchmark circuit:
+//! generic size optimization to produce the "Initial" column (the paper
+//! uses an ABC script; we use the unit-cost rewriter), then one round of
+//! multiplicative-complexity rewriting ("One round" columns), then
+//! rewriting until convergence ("Repeat until convergence" columns). The
+//! `table1` and `table2` binaries print the corresponding tables;
+//! `EXPERIMENTS.md` records a paper-vs-measured comparison.
+
+pub mod experiment;
+
+pub use experiment::{normalized_geomean, run_flow, FlowResult, TableRow};

@@ -1,0 +1,482 @@
+//! Word-level arithmetic circuit generators.
+//!
+//! All generators deliberately use *textbook* AND/OR/XOR structures (e.g.
+//! the full-adder carry `(a·b) ∨ ((a⊕b)·cin)` with three AND gates per bit
+//! after De Morgan), not the MC-optimal forms: the generated circuits are
+//! the *inputs* of the optimization experiments, mirroring the paper's
+//! starting points (whose 32-bit adder also spends ≈ 4 AND/bit before
+//! optimization).
+
+use xag_network::{Signal, Xag};
+
+/// A little-endian word of signals (`bits[0]` is the least significant).
+pub type Word = Vec<Signal>;
+
+/// Creates `n` fresh primary inputs as a word.
+pub fn input_word(xag: &mut Xag, n: usize) -> Word {
+    (0..n).map(|_| xag.input()).collect()
+}
+
+/// Marks every bit of a word as a primary output.
+pub fn output_word(xag: &mut Xag, word: &Word) {
+    for &b in word {
+        xag.output(b);
+    }
+}
+
+/// One textbook full adder: `(sum, cout)` with three AND gates.
+pub fn full_adder(xag: &mut Xag, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+    let axb = xag.xor(a, b);
+    let sum = xag.xor(axb, c);
+    let ab = xag.and(a, b);
+    let t = xag.and(axb, c);
+    let cout = xag.or(ab, t);
+    (sum, cout)
+}
+
+/// Ripple-carry addition of two equal-width words; returns `(sum, carry)`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn add_ripple(xag: &mut Xag, a: &Word, b: &Word, mut carry: Signal) -> (Word, Signal) {
+    assert_eq!(a.len(), b.len(), "word widths differ");
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(xag, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Modular addition (the carry out is dropped), as used by hash functions.
+pub fn add_mod(xag: &mut Xag, a: &Word, b: &Word) -> Word {
+    add_ripple(xag, a, b, Signal::CONST0).0
+}
+
+/// Two's-complement subtraction `a - b`; returns `(difference, borrow)`
+/// where `borrow` is high when `a < b` (unsigned).
+pub fn sub_ripple(xag: &mut Xag, a: &Word, b: &Word) -> (Word, Signal) {
+    let nb: Word = b.iter().map(|&s| !s).collect();
+    let (diff, carry) = add_ripple(xag, a, &nb, Signal::CONST1);
+    (diff, !carry)
+}
+
+/// Unsigned comparison `a < b`.
+pub fn less_than_unsigned(xag: &mut Xag, a: &Word, b: &Word) -> Signal {
+    sub_ripple(xag, a, b).1
+}
+
+/// Unsigned comparison `a ≤ b`.
+pub fn less_equal_unsigned(xag: &mut Xag, a: &Word, b: &Word) -> Signal {
+    !less_than_unsigned(xag, b, a)
+}
+
+/// Signed (two's-complement) comparison `a < b`.
+pub fn less_than_signed(xag: &mut Xag, a: &Word, b: &Word) -> Signal {
+    assert!(!a.is_empty());
+    // Flip the sign bits and compare unsigned.
+    let mut a2 = a.clone();
+    let mut b2 = b.clone();
+    let top = a.len() - 1;
+    a2[top] = !a2[top];
+    b2[top] = !b2[top];
+    less_than_unsigned(xag, &a2, &b2)
+}
+
+/// Signed comparison `a ≤ b`.
+pub fn less_equal_signed(xag: &mut Xag, a: &Word, b: &Word) -> Signal {
+    !less_than_signed(xag, b, a)
+}
+
+/// Textbook two-input multiplexer `sel ? t : e` with three AND gates
+/// (`(sel·t) ∨ (!sel·e)`) — the unoptimized form the barrel shifter and
+/// `max` benchmarks are built from.
+pub fn mux_textbook(xag: &mut Xag, sel: Signal, t: Signal, e: Signal) -> Signal {
+    let st = xag.and(sel, t);
+    let se = xag.and(!sel, e);
+    xag.or(st, se)
+}
+
+/// Word-level multiplexer.
+pub fn mux_word(xag: &mut Xag, sel: Signal, t: &Word, e: &Word) -> Word {
+    assert_eq!(t.len(), e.len());
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| mux_textbook(xag, sel, x, y))
+        .collect()
+}
+
+/// Logical barrel shifter (left shift by `shift`, zero fill): `log₂ w`
+/// mux layers.
+///
+/// # Panics
+///
+/// Panics if `1 << shift.len()` is smaller than `data.len()`'s required
+/// shift range (shift is simply truncated otherwise it panics on overflow).
+pub fn barrel_shift_left(xag: &mut Xag, data: &Word, shift: &Word) -> Word {
+    let mut cur = data.clone();
+    for (k, &s) in shift.iter().enumerate() {
+        let amount = 1usize << k;
+        let shifted: Word = (0..cur.len())
+            .map(|i| {
+                if i >= amount {
+                    cur[i - amount]
+                } else {
+                    Signal::CONST0
+                }
+            })
+            .collect();
+        cur = mux_word(xag, s, &shifted, &cur);
+    }
+    cur
+}
+
+/// Unsigned maximum of two words (comparator plus mux layer).
+pub fn max_word(xag: &mut Xag, a: &Word, b: &Word) -> Word {
+    let a_lt_b = less_than_unsigned(xag, a, b);
+    mux_word(xag, a_lt_b, b, a)
+}
+
+/// Unsigned array multiplier; returns the full `2n`-bit product.
+pub fn multiply_array(xag: &mut Xag, a: &Word, b: &Word) -> Word {
+    let n = a.len();
+    let m = b.len();
+    let mut acc: Word = vec![Signal::CONST0; n + m];
+    for (j, &bj) in b.iter().enumerate() {
+        // Partial product row j.
+        let row: Word = a.iter().map(|&ai| xag.and(ai, bj)).collect();
+        let mut carry = Signal::CONST0;
+        for (i, &p) in row.iter().enumerate() {
+            let (s, c) = full_adder(xag, acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Propagate the final carry.
+        let mut k = j + n;
+        while k < n + m {
+            let (s, c) = full_adder(xag, acc[k], carry, Signal::CONST0);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    acc
+}
+
+/// Squarer (array multiplier applied to one operand).
+pub fn square(xag: &mut Xag, a: &Word) -> Word {
+    multiply_array(xag, a, &a.clone())
+}
+
+/// Restoring unsigned division; returns `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn divide_restoring(xag: &mut Xag, num: &Word, den: &Word) -> (Word, Word) {
+    assert_eq!(num.len(), den.len());
+    let n = num.len();
+    // The running remainder needs one extra bit: after the shift it can be
+    // up to 2·den − 1.
+    let mut rem: Word = vec![Signal::CONST0; n + 1];
+    let mut den_ext = den.clone();
+    den_ext.push(Signal::CONST0);
+    let mut quo: Word = vec![Signal::CONST0; n];
+    for i in (0..n).rev() {
+        // rem = (rem << 1) | num[i]
+        rem.rotate_right(1);
+        rem[0] = num[i];
+        let (diff, borrow) = sub_ripple(xag, &rem, &den_ext);
+        let fits = !borrow;
+        rem = mux_word(xag, fits, &diff, &rem);
+        quo[i] = fits;
+    }
+    rem.truncate(n);
+    (quo, rem)
+}
+
+/// Restoring integer square root of a `2n`-bit word; returns the `n`-bit
+/// root.
+pub fn isqrt_restoring(xag: &mut Xag, x: &Word) -> Word {
+    let n2 = x.len();
+    let n = n2 / 2;
+    let mut root: Word = vec![Signal::CONST0; n];
+    let mut rem: Word = vec![Signal::CONST0; n2 + 2];
+    for i in (0..n).rev() {
+        // Bring down two bits of x.
+        rem.rotate_right(2);
+        rem[1] = x[2 * i + 1];
+        rem[0] = x[2 * i];
+        // Trial subtrahend: (root << 2) | 01, aligned.
+        let mut trial: Word = vec![Signal::CONST0; n2 + 2];
+        trial[0] = Signal::CONST1;
+        for (k, &r) in root.iter().enumerate() {
+            trial[k + 2] = r;
+        }
+        let (diff, borrow) = sub_ripple(xag, &rem, &trial);
+        let fits = !borrow;
+        rem = mux_word(xag, fits, &diff, &rem);
+        // root = (root << 1) | fits
+        root.rotate_right(1);
+        root[0] = fits;
+    }
+    root
+}
+
+/// Fixed-point binary logarithm: integer part by priority encoding, `frac`
+/// fractional bits by repeated squaring of the normalized mantissa
+/// (truncated to `mant_width` bits per step). This is the stand-in for the
+/// EPFL `log2` benchmark (multiplier-dominated, as the original).
+pub fn log2_fixed_with_width(xag: &mut Xag, x: &Word, frac: usize, mant_width: usize) -> Word {
+    let n = x.len();
+    let log_bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    // Priority encode the leading one.
+    let mut seen = Signal::CONST0;
+    let mut msb_onehot: Word = vec![Signal::CONST0; n];
+    for i in (0..n).rev() {
+        let here = xag.and(x[i], !seen);
+        msb_onehot[i] = here;
+        seen = xag.or(seen, x[i]);
+    }
+    // Integer part: binary encode of the one-hot position.
+    let mut int_part: Word = vec![Signal::CONST0; log_bits];
+    for (i, &h) in msb_onehot.iter().enumerate() {
+        for (k, ip) in int_part.iter_mut().enumerate() {
+            if (i >> k) & 1 == 1 {
+                *ip = xag.or(*ip, h);
+            }
+        }
+    }
+    // Normalize: mantissa = x << (n-1-msb), so the leading one lands at
+    // position n-1. Build with mux layers driven by the one-hot.
+    let mut mant: Word = vec![Signal::CONST0; n];
+    for (i, &h) in msb_onehot.iter().enumerate() {
+        let shift = n - 1 - i;
+        for k in 0..n {
+            if k >= shift {
+                let contrib = xag.and(h, x[k - shift]);
+                mant[k] = xag.or(mant[k], contrib);
+            }
+        }
+    }
+    // Fraction bits: square the mantissa; if the product overflows past
+    // 2.0 the next fraction bit is 1 and we keep the upper half.
+    let mut out = int_part;
+    let mut m = mant;
+    if m.len() > mant_width {
+        // Keep the top `mant_width` bits (the leading one stays at the top).
+        m = m[m.len() - mant_width..].to_vec();
+    }
+    for _ in 0..frac {
+        let sq = multiply_array(xag, &m, &m.clone());
+        // m is Q1.(n-1); m² is Q2.(2n-2). Bit 2n-1 is the ≥2 flag.
+        let ge2 = sq[2 * m.len() - 1];
+        let hi: Word = (0..m.len()).map(|k| sq[k + m.len()]).collect();
+        let lo: Word = (0..m.len()).map(|k| sq[k + m.len() - 1]).collect();
+        m = mux_word(xag, ge2, &hi, &lo);
+        out.push(ge2);
+    }
+    out
+}
+
+/// [`log2_fixed_with_width`] with an untruncated mantissa.
+pub fn log2_fixed(xag: &mut Xag, x: &Word, frac: usize) -> Word {
+    let width = x.len();
+    log2_fixed_with_width(xag, x, frac, width)
+}
+
+/// Odd polynomial approximation of sine on fixed-point input — the
+/// stand-in for the EPFL `sine` benchmark (multiplier chains, like the
+/// original).
+pub fn sine_poly(xag: &mut Xag, x: &Word) -> Word {
+    let n = x.len();
+    // s1 = x², truncated back to n bits (Q format handwave: the benchmark's
+    // value is its multiplier/adder structure, not numerical accuracy).
+    let x2full = square(xag, x);
+    let x2: Word = (0..n).map(|k| x2full[k + n / 2]).collect();
+    // x³ = x·x²
+    let x3full = multiply_array(xag, x, &x2);
+    let x3: Word = (0..n).map(|k| x3full[k + n / 2]).collect();
+    // x⁵ = x³·x²
+    let x5full = multiply_array(xag, &x3, &x2);
+    let x5: Word = (0..n).map(|k| x5full[k + n / 2]).collect();
+    // sin(x) ≈ x − x³/6 + x⁵/120: divisions by constants via shifts
+    // (1/6 ≈ 1/8 + 1/32, 1/120 ≈ 1/128).
+    let shift_right = |w: &Word, k: usize| -> Word {
+        (0..w.len())
+            .map(|i| if i + k < w.len() { w[i + k] } else { Signal::CONST0 })
+            .collect()
+    };
+    let t3a = shift_right(&x3, 3);
+    let t3b = shift_right(&x3, 5);
+    let t3 = add_mod(xag, &t3a, &t3b);
+    let t5 = shift_right(&x5, 7);
+    let (acc, _) = sub_ripple(xag, x, &t3);
+    add_mod(xag, &acc, &t5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(values: &[bool]) -> u64 {
+        values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    fn run(xag: &Xag, inputs: u64) -> Vec<bool> {
+        xag.evaluate(inputs)
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let mut x = Xag::new();
+        let a = input_word(&mut x, 5);
+        let b = input_word(&mut x, 5);
+        let (sum, carry) = add_ripple(&mut x, &a, &b, Signal::CONST0);
+        output_word(&mut x, &sum);
+        x.output(carry);
+        for av in [0u64, 1, 7, 19, 31] {
+            for bv in [0u64, 2, 13, 30, 31] {
+                let out = run(&x, av | (bv << 5));
+                let got = eval_word(&out);
+                assert_eq!(got, av + bv, "{av}+{bv}");
+            }
+        }
+        // Textbook cost: 3 ANDs per bit, minus two folded at bit 0
+        // (carry-in is constant zero).
+        assert_eq!(x.num_ands(), 13);
+    }
+
+    #[test]
+    fn subtract_and_compare() {
+        let mut x = Xag::new();
+        let a = input_word(&mut x, 4);
+        let b = input_word(&mut x, 4);
+        let lt = less_than_unsigned(&mut x, &a, &b);
+        let le = less_equal_unsigned(&mut x, &a, &b);
+        let slt = less_than_signed(&mut x, &a, &b);
+        x.output(lt);
+        x.output(le);
+        x.output(slt);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let out = run(&x, av | (bv << 4));
+                assert_eq!(out[0], av < bv, "{av} < {bv}");
+                assert_eq!(out[1], av <= bv, "{av} <= {bv}");
+                let sa = ((av as i64) << 60) >> 60;
+                let sb = ((bv as i64) << 60) >> 60;
+                assert_eq!(out[2], sa < sb, "signed {sa} < {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic() {
+        let mut x = Xag::new();
+        let a = input_word(&mut x, 4);
+        let b = input_word(&mut x, 4);
+        let p = multiply_array(&mut x, &a, &b);
+        output_word(&mut x, &p);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let out = run(&x, av | (bv << 4));
+                assert_eq!(eval_word(&out), av * bv, "{av}*{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn divider_matches_arithmetic() {
+        let mut x = Xag::new();
+        let n = input_word(&mut x, 4);
+        let d = input_word(&mut x, 4);
+        let (q, r) = divide_restoring(&mut x, &n, &d);
+        output_word(&mut x, &q);
+        output_word(&mut x, &r);
+        for nv in 0..16u64 {
+            for dv in 1..16u64 {
+                let out = run(&x, nv | (dv << 4));
+                let qv = eval_word(&out[..4]);
+                let rv = eval_word(&out[4..]);
+                assert_eq!(qv, nv / dv, "{nv}/{dv}");
+                assert_eq!(rv, nv % dv, "{nv}%{dv}");
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_matches_arithmetic() {
+        let mut x = Xag::new();
+        let v = input_word(&mut x, 8);
+        let r = isqrt_restoring(&mut x, &v);
+        output_word(&mut x, &r);
+        for val in 0..256u64 {
+            let out = run(&x, val);
+            let got = eval_word(&out);
+            let want = (val as f64).sqrt().floor() as u64;
+            assert_eq!(got, want, "isqrt({val})");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_matches() {
+        let mut x = Xag::new();
+        let data = input_word(&mut x, 8);
+        let shift = input_word(&mut x, 3);
+        let out = barrel_shift_left(&mut x, &data, &shift);
+        output_word(&mut x, &out);
+        for dv in [0x01u64, 0x81, 0xff, 0x5a] {
+            for sv in 0..8u64 {
+                let o = run(&x, dv | (sv << 8));
+                assert_eq!(eval_word(&o), (dv << sv) & 0xff, "{dv} << {sv}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_matches() {
+        let mut x = Xag::new();
+        let a = input_word(&mut x, 4);
+        let b = input_word(&mut x, 4);
+        let m = max_word(&mut x, &a, &b);
+        output_word(&mut x, &m);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let out = run(&x, av | (bv << 4));
+                assert_eq!(eval_word(&out), av.max(bv));
+            }
+        }
+    }
+
+    #[test]
+    fn log2_integer_part() {
+        let mut x = Xag::new();
+        let v = input_word(&mut x, 8);
+        let l = log2_fixed(&mut x, &v, 2);
+        output_word(&mut x, &l);
+        for val in 1..256u64 {
+            let out = run(&x, val);
+            let int_part = eval_word(&out[..3]);
+            assert_eq!(int_part, 63 - val.leading_zeros() as u64, "log2({val}) int part");
+        }
+    }
+
+    #[test]
+    fn sine_is_monotone_on_small_inputs() {
+        // The polynomial approximation should at least track x for small x
+        // (x³ corrections are tiny there) and produce a well-formed circuit.
+        let mut x = Xag::new();
+        let v = input_word(&mut x, 8);
+        let s = sine_poly(&mut x, &v);
+        output_word(&mut x, &s);
+        assert!(x.num_ands() > 100, "multiplier-dominated benchmark");
+        let small = run(&x, 4);
+        let larger = run(&x, 8);
+        assert!(eval_word(&larger) >= eval_word(&small));
+    }
+}

@@ -1,0 +1,232 @@
+//! The EPFL-style combinational benchmark suite (paper Table 1).
+//!
+//! Arithmetic benchmarks are faithful implementations; the four control
+//! benchmarks without public functional specifications are seeded random
+//! control networks (see [`crate::control::random_control`] and DESIGN.md
+//! §3). [`Scale::Full`] matches the paper's I/O sizes; [`Scale::Reduced`]
+//! shrinks word widths so the whole Table-1 experiment runs in seconds,
+//! preserving every structural property the optimization exercises.
+
+use xag_network::{Signal, Xag};
+
+use crate::arith::{
+    add_ripple, barrel_shift_left, divide_restoring, input_word, isqrt_restoring,
+    log2_fixed_with_width, max_word, multiply_array, output_word, sine_poly, square,
+};
+use crate::control::{
+    decoder, int_to_float, priority_encoder, random_control, round_robin_arbiter, voter,
+};
+
+/// Benchmark instance: a name (matching the paper's Table 1 rows) and the
+/// generated network.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Row name as in the paper.
+    pub name: &'static str,
+    /// The generated circuit.
+    pub xag: Xag,
+    /// Whether this row belongs to the arithmetic half of Table 1.
+    pub arithmetic: bool,
+}
+
+/// Benchmark sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Paper-sized instances (some take minutes to optimize).
+    Full,
+    /// Scaled-down instances for quick experiments and CI.
+    #[default]
+    Reduced,
+}
+
+fn adder(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let (sum, carry) = add_ripple(&mut x, &a, &b, Signal::CONST0);
+    output_word(&mut x, &sum);
+    x.output(carry);
+    x
+}
+
+fn barrel(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let data = input_word(&mut x, bits);
+    let shift_bits = (usize::BITS - (bits - 1).leading_zeros()) as usize;
+    let shift = input_word(&mut x, shift_bits);
+    let out = barrel_shift_left(&mut x, &data, &shift);
+    output_word(&mut x, &out);
+    x
+}
+
+fn divisor(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let n = input_word(&mut x, bits);
+    let d = input_word(&mut x, bits);
+    let (q, r) = divide_restoring(&mut x, &n, &d);
+    output_word(&mut x, &q);
+    output_word(&mut x, &r);
+    x
+}
+
+fn log2(bits: usize, frac: usize, mant: usize) -> Xag {
+    let mut x = Xag::new();
+    let v = input_word(&mut x, bits);
+    let l = log2_fixed_with_width(&mut x, &v, frac, mant);
+    output_word(&mut x, &l);
+    x
+}
+
+fn max4(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let words: Vec<_> = (0..4).map(|_| input_word(&mut x, bits)).collect();
+    let m01 = max_word(&mut x, &words[0], &words[1]);
+    let m23 = max_word(&mut x, &words[2], &words[3]);
+    let m = max_word(&mut x, &m01, &m23);
+    output_word(&mut x, &m);
+    // Two tie-breaking flags, as the original has a couple of extra outputs.
+    let f0 = crate::arith::less_than_unsigned(&mut x, &words[0], &words[1]);
+    let f1 = crate::arith::less_than_unsigned(&mut x, &words[2], &words[3]);
+    x.output(f0);
+    x.output(f1);
+    x
+}
+
+fn multiplier(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let p = multiply_array(&mut x, &a, &b);
+    output_word(&mut x, &p);
+    x
+}
+
+fn sine(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let v = input_word(&mut x, bits);
+    let s = sine_poly(&mut x, &v);
+    output_word(&mut x, &s);
+    x
+}
+
+fn sqrt(bits2: usize) -> Xag {
+    let mut x = Xag::new();
+    let v = input_word(&mut x, bits2);
+    let r = isqrt_restoring(&mut x, &v);
+    output_word(&mut x, &r);
+    x
+}
+
+fn squarer(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let p = square(&mut x, &a);
+    output_word(&mut x, &p);
+    x
+}
+
+/// Generates the full Table-1 suite (9 arithmetic + 10 control rows).
+pub fn epfl_suite(scale: Scale) -> Vec<Benchmark> {
+    let full = scale == Scale::Full;
+    let mut out = Vec::new();
+    let mut arith = |name, xag| {
+        out.push(Benchmark {
+            name,
+            xag,
+            arithmetic: true,
+        })
+    };
+    arith("adder", adder(if full { 128 } else { 32 }));
+    arith("bar", barrel(if full { 128 } else { 32 }));
+    arith("div", divisor(if full { 64 } else { 12 }));
+    arith(
+        "log2",
+        if full {
+            log2(32, 27, 16)
+        } else {
+            log2(12, 8, 8)
+        },
+    );
+    arith("max", max4(if full { 128 } else { 24 }));
+    arith("multiplier", multiplier(if full { 64 } else { 12 }));
+    arith("sin", sine(if full { 24 } else { 10 }));
+    arith("sqrt", sqrt(if full { 128 } else { 24 }));
+    arith("square", squarer(if full { 64 } else { 12 }));
+
+    let ctrl = |out: &mut Vec<Benchmark>, name, xag| {
+        out.push(Benchmark {
+            name,
+            xag,
+            arithmetic: false,
+        })
+    };
+    ctrl(
+        &mut out,
+        "arbiter",
+        round_robin_arbiter(if full { 128 } else { 24 }),
+    );
+    ctrl(&mut out, "ctrl", random_control(0xA10, 7, 26, 90));
+    ctrl(
+        &mut out,
+        "cavlc",
+        random_control(0xCA71C, 10, 11, if full { 550 } else { 160 }),
+    );
+    ctrl(&mut out, "dec", decoder(if full { 8 } else { 6 }));
+    ctrl(
+        &mut out,
+        "i2c",
+        random_control(0x12C, 147, 142, if full { 840 } else { 220 }),
+    );
+    ctrl(&mut out, "int2float", int_to_float(11, 3, 3));
+    ctrl(
+        &mut out,
+        "mem_ctrl",
+        random_control(0x3E3, 120, 128, if full { 7400 } else { 600 }),
+    );
+    ctrl(
+        &mut out,
+        "priority",
+        priority_encoder(if full { 128 } else { 64 }),
+    );
+    ctrl(
+        &mut out,
+        "router",
+        random_control(0x707, 60, 30, if full { 95 } else { 95 }),
+    );
+    ctrl(&mut out, "voter", voter(if full { 1001 } else { 101 }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_suite_builds_and_is_nontrivial() {
+        let suite = epfl_suite(Scale::Reduced);
+        assert_eq!(suite.len(), 19);
+        for b in &suite {
+            assert!(b.xag.num_inputs() > 0, "{}", b.name);
+            assert!(b.xag.num_outputs() > 0, "{}", b.name);
+            assert!(b.xag.num_gates() > 0, "{}", b.name);
+        }
+        let arith_count = suite.iter().filter(|b| b.arithmetic).count();
+        assert_eq!(arith_count, 9);
+    }
+
+    #[test]
+    fn adder_has_textbook_and_cost() {
+        let suite = epfl_suite(Scale::Reduced);
+        let adder = suite.iter().find(|b| b.name == "adder").unwrap();
+        // 3 ANDs per bit with the textbook full adder, minus two folded
+        // away at bit 0 (constant carry-in).
+        assert_eq!(adder.xag.num_ands(), 3 * 32 - 2);
+    }
+
+    #[test]
+    fn decoder_has_no_xors() {
+        let suite = epfl_suite(Scale::Reduced);
+        let dec = suite.iter().find(|b| b.name == "dec").unwrap();
+        assert_eq!(dec.xag.num_xors(), 0);
+    }
+}

@@ -1,0 +1,490 @@
+//! Hash-function compression circuits: MD5, SHA-1, SHA-256.
+//!
+//! Each circuit is one compression of a single message block (512 input
+//! bits) with the standard initial chaining value baked in as constants —
+//! the same shape as the best-known MPC benchmarks of the paper's Table 2
+//! (512 inputs; 128/160/256 outputs). Round constants are computed at
+//! generation time from their mathematical definitions (⌊2³²·|sin(i)|⌋ for
+//! MD5, √2-style cube/square roots for SHA), so no tables are copied in.
+//!
+//! All word arithmetic uses the textbook ripple adder (3 AND/bit) and the
+//! boolean round functions use their AND/OR forms, making these circuits
+//! faithful "unoptimized" starting points for AND minimization.
+
+use xag_network::{Signal, Xag};
+
+use crate::arith::{add_mod, input_word, output_word, Word};
+
+/// 32-bit constant as a word of constant signals (little-endian bits).
+fn const_word(value: u32) -> Word {
+    (0..32)
+        .map(|k| {
+            if (value >> k) & 1 == 1 {
+                Signal::CONST1
+            } else {
+                Signal::CONST0
+            }
+        })
+        .collect()
+}
+
+/// Left rotation (pure wiring).
+fn rotl(w: &Word, r: usize) -> Word {
+    let n = w.len();
+    (0..n).map(|i| w[(i + n - (r % n)) % n]).collect()
+}
+
+/// Right rotation (pure wiring).
+fn rotr(w: &Word, r: usize) -> Word {
+    rotl(w, w.len() - (r % w.len()))
+}
+
+/// Logical right shift (zero fill).
+fn shr(w: &Word, r: usize) -> Word {
+    (0..w.len())
+        .map(|i| if i + r < w.len() { w[i + r] } else { Signal::CONST0 })
+        .collect()
+}
+
+fn xor_word(x: &mut Xag, a: &Word, b: &Word) -> Word {
+    a.iter().zip(b).map(|(&p, &q)| x.xor(p, q)).collect()
+}
+
+fn and_word(x: &mut Xag, a: &Word, b: &Word) -> Word {
+    a.iter().zip(b).map(|(&p, &q)| x.and(p, q)).collect()
+}
+
+fn or_word(x: &mut Xag, a: &Word, b: &Word) -> Word {
+    a.iter().zip(b).map(|(&p, &q)| x.or(p, q)).collect()
+}
+
+fn not_word(a: &Word) -> Word {
+    a.iter().map(|&p| !p).collect()
+}
+
+/// Choice: `(b ∧ c) ∨ (¬b ∧ d)` in its textbook AND/OR form.
+fn ch(x: &mut Xag, b: &Word, c: &Word, d: &Word) -> Word {
+    let t = and_word(x, b, c);
+    let e = and_word(x, &not_word(b), d);
+    or_word(x, &t, &e)
+}
+
+/// Majority: `(b∧c) ∨ (b∧d) ∨ (c∧d)`.
+fn maj3(x: &mut Xag, b: &Word, c: &Word, d: &Word) -> Word {
+    let bc = and_word(x, b, c);
+    let bd = and_word(x, b, d);
+    let cd = and_word(x, c, d);
+    let t = or_word(x, &bc, &bd);
+    or_word(x, &t, &cd)
+}
+
+/// One-block MD5 compression: 512 message bits in, 128 digest bits out.
+pub fn md5() -> Xag {
+    let mut x = Xag::new();
+    let msg: Vec<Word> = (0..16).map(|_| input_word(&mut x, 32)).collect();
+
+    // K[i] = floor(2^32 * |sin(i+1)|), the standard derivation.
+    let k: Vec<u32> = (0..64)
+        .map(|i| (((i as f64) + 1.0).sin().abs() * 4294967296.0) as u32)
+        .collect();
+    const S: [[usize; 4]; 4] = [
+        [7, 12, 17, 22],
+        [5, 9, 14, 20],
+        [4, 11, 16, 23],
+        [6, 10, 15, 21],
+    ];
+    let (mut a, mut b, mut c, mut d) = (
+        const_word(0x6745_2301),
+        const_word(0xefcd_ab89),
+        const_word(0x98ba_dcfe),
+        const_word(0x1032_5476),
+    );
+    let (a0, b0, c0, d0) = (a.clone(), b.clone(), c.clone(), d.clone());
+
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => (ch(&mut x, &b, &c, &d), i),
+            1 => (ch(&mut x, &d, &b, &c), (5 * i + 1) % 16),
+            2 => {
+                let t = xor_word(&mut x, &b, &c);
+                (xor_word(&mut x, &t, &d), (3 * i + 5) % 16)
+            }
+            _ => {
+                // I(b,c,d) = c ⊕ (b ∨ ¬d)
+                let t = or_word(&mut x, &b, &not_word(&d));
+                (xor_word(&mut x, &c, &t), (7 * i) % 16)
+            }
+        };
+        let t1 = add_mod(&mut x, &a, &f);
+        let t2 = add_mod(&mut x, &t1, &const_word(k[i]));
+        let t3 = add_mod(&mut x, &t2, &msg[g]);
+        let rot = rotl(&t3, S[i / 16][i % 4]);
+        let nb = add_mod(&mut x, &b, &rot);
+        a = d.clone();
+        d = c.clone();
+        c = b.clone();
+        b = nb;
+    }
+    let fa = add_mod(&mut x, &a0, &a);
+    let fb = add_mod(&mut x, &b0, &b);
+    let fc = add_mod(&mut x, &c0, &c);
+    let fd = add_mod(&mut x, &d0, &d);
+    for w in [fa, fb, fc, fd] {
+        output_word(&mut x, &w);
+    }
+    x
+}
+
+/// One-block SHA-1 compression: 512 message bits in, 160 digest bits out.
+pub fn sha1() -> Xag {
+    let mut x = Xag::new();
+    let msg: Vec<Word> = (0..16).map(|_| input_word(&mut x, 32)).collect();
+
+    // Message schedule.
+    let mut w: Vec<Word> = msg;
+    for t in 16..80 {
+        let t1 = xor_word(&mut x, &w[t - 3], &w[t - 8]);
+        let t2 = xor_word(&mut x, &t1, &w[t - 14]);
+        let t3 = xor_word(&mut x, &t2, &w[t - 16]);
+        w.push(rotl(&t3, 1));
+    }
+
+    let (mut a, mut b, mut c, mut d, mut e) = (
+        const_word(0x6745_2301),
+        const_word(0xefcd_ab89),
+        const_word(0x98ba_dcfe),
+        const_word(0x1032_5476),
+        const_word(0xc3d2_e1f0),
+    );
+    let init = (a.clone(), b.clone(), c.clone(), d.clone(), e.clone());
+
+    for t in 0..80 {
+        let (f, kc) = match t / 20 {
+            0 => (ch(&mut x, &b, &c, &d), 0x5a82_7999u32),
+            1 => {
+                let t1 = xor_word(&mut x, &b, &c);
+                (xor_word(&mut x, &t1, &d), 0x6ed9_eba1)
+            }
+            2 => (maj3(&mut x, &b, &c, &d), 0x8f1b_bcdc),
+            _ => {
+                let t1 = xor_word(&mut x, &b, &c);
+                (xor_word(&mut x, &t1, &d), 0xca62_c1d6)
+            }
+        };
+        let t1 = add_mod(&mut x, &rotl(&a, 5), &f);
+        let t2 = add_mod(&mut x, &t1, &e);
+        let t3 = add_mod(&mut x, &t2, &w[t]);
+        let temp = add_mod(&mut x, &t3, &const_word(kc));
+        e = d.clone();
+        d = c.clone();
+        c = rotl(&b, 30);
+        b = a.clone();
+        a = temp;
+    }
+    let fa = add_mod(&mut x, &init.0, &a);
+    let fb = add_mod(&mut x, &init.1, &b);
+    let fc = add_mod(&mut x, &init.2, &c);
+    let fd = add_mod(&mut x, &init.3, &d);
+    let fe = add_mod(&mut x, &init.4, &e);
+    for word in [fa, fb, fc, fd, fe] {
+        output_word(&mut x, &word);
+    }
+    x
+}
+
+/// The first 64 primes, for SHA-256 constant derivation.
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cand = 2u64;
+    while out.len() < n {
+        if (2..cand).take_while(|d| d * d <= cand).all(|d| cand % d != 0) {
+            out.push(cand);
+        }
+        cand += 1;
+    }
+    out
+}
+
+/// One-block SHA-256 compression: 512 message bits in, 256 digest bits out.
+pub fn sha256() -> Xag {
+    let mut x = Xag::new();
+    let msg: Vec<Word> = (0..16).map(|_| input_word(&mut x, 32)).collect();
+
+    let ps = primes(64);
+    // H0..H7 = frac(sqrt(p)) and K = frac(cbrt(p)), scaled to 32 bits.
+    let frac32 = |v: f64| -> u32 { ((v - v.floor()) * 4294967296.0) as u32 };
+    let h0: Vec<u32> = ps[..8].iter().map(|&p| frac32((p as f64).sqrt())).collect();
+    let k: Vec<u32> = ps.iter().map(|&p| frac32((p as f64).cbrt())).collect();
+
+    // Message schedule with σ0/σ1.
+    let mut w: Vec<Word> = msg;
+    for t in 16..64 {
+        let s0 = {
+            let r7 = rotr(&w[t - 15], 7);
+            let r18 = rotr(&w[t - 15], 18);
+            let s3 = shr(&w[t - 15], 3);
+            let t1 = xor_word(&mut x, &r7, &r18);
+            xor_word(&mut x, &t1, &s3)
+        };
+        let s1 = {
+            let r17 = rotr(&w[t - 2], 17);
+            let r19 = rotr(&w[t - 2], 19);
+            let s10 = shr(&w[t - 2], 10);
+            let t1 = xor_word(&mut x, &r17, &r19);
+            xor_word(&mut x, &t1, &s10)
+        };
+        let t1 = add_mod(&mut x, &w[t - 16], &s0);
+        let t2 = add_mod(&mut x, &t1, &w[t - 7]);
+        w.push(add_mod(&mut x, &t2, &s1));
+    }
+
+    let mut state: Vec<Word> = h0.iter().map(|&h| const_word(h)).collect();
+    let init = state.clone();
+    for t in 0..64 {
+        let (a, b, c, d, e, f, g, h) = (
+            state[0].clone(),
+            state[1].clone(),
+            state[2].clone(),
+            state[3].clone(),
+            state[4].clone(),
+            state[5].clone(),
+            state[6].clone(),
+            state[7].clone(),
+        );
+        let big_s1 = {
+            let r6 = rotr(&e, 6);
+            let r11 = rotr(&e, 11);
+            let r25 = rotr(&e, 25);
+            let t1 = xor_word(&mut x, &r6, &r11);
+            xor_word(&mut x, &t1, &r25)
+        };
+        let chv = ch(&mut x, &e, &f, &g);
+        let tmp1 = {
+            let t1 = add_mod(&mut x, &h, &big_s1);
+            let t2 = add_mod(&mut x, &t1, &chv);
+            let t3 = add_mod(&mut x, &t2, &const_word(k[t]));
+            add_mod(&mut x, &t3, &w[t])
+        };
+        let big_s0 = {
+            let r2 = rotr(&a, 2);
+            let r13 = rotr(&a, 13);
+            let r22 = rotr(&a, 22);
+            let t1 = xor_word(&mut x, &r2, &r13);
+            xor_word(&mut x, &t1, &r22)
+        };
+        let majv = maj3(&mut x, &a, &b, &c);
+        let tmp2 = add_mod(&mut x, &big_s0, &majv);
+
+        state[7] = g;
+        state[6] = f;
+        state[5] = e;
+        state[4] = add_mod(&mut x, &d, &tmp1);
+        state[3] = c;
+        state[2] = b;
+        state[1] = a;
+        state[0] = add_mod(&mut x, &tmp1, &tmp2);
+    }
+    for (s, i) in state.iter().zip(init.iter()) {
+        let out = add_mod(&mut x, s, i);
+        output_word(&mut x, &out);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Software MD5 of one raw block (no padding), mirroring the circuit.
+    fn md5_block_sw(block: &[u32; 16]) -> [u32; 4] {
+        let k: Vec<u32> = (0..64)
+            .map(|i| (((i as f64) + 1.0).sin().abs() * 4294967296.0) as u32)
+            .collect();
+        const S: [[u32; 4]; 4] = [
+            [7, 12, 17, 22],
+            [5, 9, 14, 20],
+            [4, 11, 16, 23],
+            [6, 10, 15, 21],
+        ];
+        let (mut a, mut b, mut c, mut d) =
+            (0x6745_2301u32, 0xefcd_ab89u32, 0x98ba_dcfeu32, 0x1032_5476u32);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = a
+                .wrapping_add(f)
+                .wrapping_add(k[i])
+                .wrapping_add(block[g])
+                .rotate_left(S[i / 16][i % 4]);
+            let nb = b.wrapping_add(tmp);
+            a = d;
+            d = c;
+            c = b;
+            b = nb;
+        }
+        [
+            0x6745_2301u32.wrapping_add(a),
+            0xefcd_ab89u32.wrapping_add(b),
+            0x98ba_dcfeu32.wrapping_add(c),
+            0x1032_5476u32.wrapping_add(d),
+        ]
+    }
+
+    fn sha1_block_sw(block: &[u32; 16]) -> [u32; 5] {
+        let mut w = [0u32; 80];
+        w[..16].copy_from_slice(block);
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (
+            0x6745_2301u32,
+            0xefcd_ab89u32,
+            0x98ba_dcfeu32,
+            0x1032_5476u32,
+            0xc3d2_e1f0u32,
+        );
+        for t in 0..80 {
+            let (f, k) = match t / 20 {
+                0 => ((b & c) | (!b & d), 0x5a82_7999),
+                1 => (b ^ c ^ d, 0x6ed9_eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(w[t])
+                .wrapping_add(k);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        [
+            0x6745_2301u32.wrapping_add(a),
+            0xefcd_ab89u32.wrapping_add(b),
+            0x98ba_dcfeu32.wrapping_add(c),
+            0x1032_5476u32.wrapping_add(d),
+            0xc3d2_e1f0u32.wrapping_add(e),
+        ]
+    }
+
+    fn sha256_block_sw(block: &[u32; 16]) -> [u32; 8] {
+        let ps = primes(64);
+        let frac32 = |v: f64| -> u32 { ((v - v.floor()) * 4294967296.0) as u32 };
+        let mut h: Vec<u32> = ps[..8].iter().map(|&p| frac32((p as f64).sqrt())).collect();
+        let k: Vec<u32> = ps.iter().map(|&p| frac32((p as f64).cbrt())).collect();
+        let mut w = [0u32; 64];
+        w[..16].copy_from_slice(block);
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let init = h.clone();
+        for t in 0..64 {
+            let s1 = h[4].rotate_right(6) ^ h[4].rotate_right(11) ^ h[4].rotate_right(25);
+            let ch = (h[4] & h[5]) ^ (!h[4] & h[6]);
+            let tmp1 = h[7]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[t])
+                .wrapping_add(w[t]);
+            let s0 = h[0].rotate_right(2) ^ h[0].rotate_right(13) ^ h[0].rotate_right(22);
+            let maj = (h[0] & h[1]) ^ (h[0] & h[2]) ^ (h[1] & h[2]);
+            let tmp2 = s0.wrapping_add(maj);
+            h[7] = h[6];
+            h[6] = h[5];
+            h[5] = h[4];
+            h[4] = h[3].wrapping_add(tmp1);
+            h[3] = h[2];
+            h[2] = h[1];
+            h[1] = h[0];
+            h[0] = tmp1.wrapping_add(tmp2);
+        }
+        let mut out = [0u32; 8];
+        for i in 0..8 {
+            out[i] = h[i].wrapping_add(init[i]);
+        }
+        out
+    }
+
+    fn run_words(x: &Xag, block: &[u32; 16]) -> Vec<u32> {
+        let words: Vec<u64> = (0..512)
+            .map(|i| {
+                let w = block[i / 32];
+                if (w >> (i % 32)) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let out = x.simulate(&words);
+        out.chunks(32)
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .fold(0u32, |a, (i, &w)| a | (((w & 1) as u32) << i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn md5_circuit_matches_software() {
+        let x = md5();
+        assert_eq!(x.num_inputs(), 512);
+        assert_eq!(x.num_outputs(), 128);
+        let mut block = [0u32; 16];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u32).wrapping_mul(0x9e37_79b9) ^ 0x1234_5678;
+        }
+        assert_eq!(run_words(&x, &block), md5_block_sw(&block).to_vec());
+        assert_eq!(run_words(&x, &[0; 16]), md5_block_sw(&[0; 16]).to_vec());
+    }
+
+    #[test]
+    fn sha1_circuit_matches_software() {
+        let x = sha1();
+        assert_eq!(x.num_inputs(), 512);
+        assert_eq!(x.num_outputs(), 160);
+        let mut block = [0u32; 16];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u32).wrapping_mul(0x0123_4567) ^ 0xdead_beef;
+        }
+        assert_eq!(run_words(&x, &block), sha1_block_sw(&block).to_vec());
+    }
+
+    #[test]
+    fn sha256_circuit_matches_software() {
+        let x = sha256();
+        assert_eq!(x.num_inputs(), 512);
+        assert_eq!(x.num_outputs(), 256);
+        let mut block = [0u32; 16];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u32).wrapping_mul(0xabcd_ef01) ^ 0x0f0f_1234;
+        }
+        assert_eq!(run_words(&x, &block), sha256_block_sw(&block).to_vec());
+        // Shape check: adder/choice/majority dominated.
+        assert!(x.num_ands() > 10_000);
+    }
+
+    #[test]
+    fn sha256_constants_are_the_standard_ones() {
+        // Spot-check the derived constants against the published values.
+        let ps = primes(64);
+        let frac32 = |v: f64| -> u32 { ((v - v.floor()) * 4294967296.0) as u32 };
+        assert_eq!(frac32((ps[0] as f64).sqrt()), 0x6a09_e667);
+        assert_eq!(frac32((ps[0] as f64).cbrt()), 0x428a_2f98);
+        assert_eq!(frac32((ps[63] as f64).cbrt()), 0xc671_78f2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Benchmark circuit generators for the DAC'19 reproduction.
+//!
+//! This crate builds, from scratch, XAG versions of every circuit the
+//! paper's evaluation uses:
+//!
+//! * [`epfl`] — the EPFL combinational benchmark suite of Table 1
+//!   (arithmetic: adder, barrel shifter, divisor, log2, max, multiplier,
+//!   sine, square-root, square; random-control: arbiter, ALU control,
+//!   cavlc, decoder, i2c, int2float, memory controller, priority encoder,
+//!   router, voter);
+//! * [`mpc`] — the MPC/FHE suite of Table 2 (AES-128 with a tower-field
+//!   S-box, a DES-structured Feistel cipher, MD5, SHA-1, SHA-256, adders,
+//!   a 32×32 multiplier, and four comparators);
+//! * [`arith`] / [`control`] — the word-level building blocks, exposed for
+//!   user circuits.
+//!
+//! Generators intentionally use *textbook* gate-level structures (AND/OR
+//! full adders, three-AND multiplexers) rather than multiplicative-
+//! complexity-optimal forms: they are the unoptimized starting points of
+//! the paper's experiments. Substitutions relative to the paper's exact
+//! benchmark files are documented in DESIGN.md §3.
+//!
+//! # Examples
+//!
+//! ```
+//! use xag_circuits::epfl::{epfl_suite, Scale};
+//!
+//! let suite = epfl_suite(Scale::Reduced);
+//! let adder = suite.iter().find(|b| b.name == "adder").expect("present");
+//! assert_eq!(adder.xag.num_ands(), 94); // 3 textbook ANDs per bit − folding
+//! ```
+
+pub mod aes;
+pub mod arith;
+pub mod control;
+pub mod des;
+pub mod epfl;
+pub mod hash;
+pub mod keccak;
+pub mod mpc;

@@ -1,0 +1,130 @@
+//! The MPC / FHE benchmark suite (paper Table 2): block ciphers, hash
+//! functions, and the arithmetic kernels published as best-known Bristol
+//! circuits by the MPC community.
+
+use xag_network::{Signal, Xag};
+
+use crate::arith::{
+    add_ripple, input_word, less_equal_signed, less_equal_unsigned, less_than_signed,
+    less_than_unsigned, multiply_array, output_word,
+};
+use crate::{aes, des, hash, keccak};
+
+/// A Table-2 benchmark instance.
+#[derive(Debug)]
+pub struct MpcBenchmark {
+    /// Row name as in the paper.
+    pub name: &'static str,
+    /// The generated circuit.
+    pub xag: Xag,
+    /// Rough cost class, used by the harness to decide how hard to
+    /// optimize in quick mode.
+    pub heavy: bool,
+}
+
+fn adder(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let (sum, carry) = add_ripple(&mut x, &a, &b, Signal::CONST0);
+    output_word(&mut x, &sum);
+    x.output(carry);
+    x
+}
+
+fn mult_trunc(bits: usize) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let p = multiply_array(&mut x, &a, &b);
+    // The published 32×32 multiplier keeps 64 output bits.
+    output_word(&mut x, &p);
+    x
+}
+
+fn comparator(bits: usize, signed: bool, or_equal: bool) -> Xag {
+    let mut x = Xag::new();
+    let a = input_word(&mut x, bits);
+    let b = input_word(&mut x, bits);
+    let out = match (signed, or_equal) {
+        (false, false) => less_than_unsigned(&mut x, &a, &b),
+        (false, true) => less_equal_unsigned(&mut x, &a, &b),
+        (true, false) => less_than_signed(&mut x, &a, &b),
+        (true, true) => less_equal_signed(&mut x, &a, &b),
+    };
+    x.output(out);
+    x
+}
+
+/// Generates the full Table-2 suite (14 rows).
+///
+/// When `quick` is set, the block ciphers and hashes are still generated at
+/// full fidelity — they *are* the benchmark — but callers typically limit
+/// the number of optimization rounds on the `heavy` entries.
+pub fn mpc_suite(include_heavy: bool) -> Vec<MpcBenchmark> {
+    let mut out = Vec::new();
+    let mut push = |name, xag, heavy| {
+        out.push(MpcBenchmark { name, xag, heavy });
+    };
+    if include_heavy {
+        push("AES (No Key Expansion)", aes::aes128(true), true);
+        push("AES (Key Expansion)", aes::aes128(false), true);
+        push("DES (No Key Expansion)", des::des(true), true);
+        push("DES (Key Expansion)", des::des(false), true);
+        push("MD5", hash::md5(), true);
+        push("SHA-1", hash::sha1(), true);
+        push("SHA-256", hash::sha256(), true);
+        // Beyond the paper's table: the SHA-3 core, whose χ layer is
+        // already quadratic (the MPC-friendly design point).
+        push("Keccak-f[400]", keccak::keccak_f(16), true);
+    }
+    push("32-bit Adder", adder(32), false);
+    push("64-bit Adder", adder(64), false);
+    push("32x32-bit Multiplier", mult_trunc(32), true);
+    push("Comp. 32-bit Signed LTEQ", comparator(32, true, true), false);
+    push("Comp. 32-bit Signed LT", comparator(32, true, false), false);
+    push("Comp. 32-bit Unsigned LTEQ", comparator(32, false, true), false);
+    push("Comp. 32-bit Unsigned LT", comparator(32, false, false), false);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_suite_shapes_match_table2() {
+        let suite = mpc_suite(false);
+        let by_name = |n: &str| suite.iter().find(|b| b.name == n).unwrap();
+        let a32 = by_name("32-bit Adder");
+        assert_eq!(a32.xag.num_inputs(), 64);
+        assert_eq!(a32.xag.num_outputs(), 33);
+        let a64 = by_name("64-bit Adder");
+        assert_eq!(a64.xag.num_inputs(), 128);
+        assert_eq!(a64.xag.num_outputs(), 65);
+        let m = by_name("32x32-bit Multiplier");
+        assert_eq!(m.xag.num_inputs(), 64);
+        assert_eq!(m.xag.num_outputs(), 64);
+        for c in suite.iter().filter(|b| b.name.starts_with("Comp.")) {
+            assert_eq!(c.xag.num_inputs(), 64);
+            assert_eq!(c.xag.num_outputs(), 1);
+        }
+    }
+
+    #[test]
+    fn comparators_behave() {
+        let suite = mpc_suite(false);
+        let lt = &suite
+            .iter()
+            .find(|b| b.name == "Comp. 32-bit Unsigned LT")
+            .unwrap()
+            .xag;
+        // Drive with 64 input words: a = 5, b = 9.
+        let mut words = vec![0u64; 64];
+        for i in 0..32 {
+            words[i] = if (5u64 >> i) & 1 == 1 { u64::MAX } else { 0 };
+            words[32 + i] = if (9u64 >> i) & 1 == 1 { u64::MAX } else { 0 };
+        }
+        assert_eq!(lt.simulate(&words)[0] & 1, 1);
+    }
+}

@@ -1,0 +1,146 @@
+use std::time::Duration;
+
+/// Statistics of one rewriting round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// AND gates before the round.
+    pub ands_before: usize,
+    /// XOR gates before the round.
+    pub xors_before: usize,
+    /// AND gates after the round.
+    pub ands_after: usize,
+    /// XOR gates after the round.
+    pub xors_after: usize,
+    /// Number of accepted rewrites.
+    pub rewrites_applied: usize,
+    /// Number of (node, cut) candidates evaluated.
+    pub cuts_considered: usize,
+    /// Wall-clock time of the round.
+    pub elapsed: Duration,
+}
+
+impl RoundStats {
+    /// Relative AND improvement of this round, in percent.
+    pub fn improvement_pct(&self) -> f64 {
+        if self.ands_before == 0 {
+            0.0
+        } else {
+            100.0 * (self.ands_before - self.ands_after) as f64 / self.ands_before as f64
+        }
+    }
+}
+
+impl core::fmt::Display for RoundStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "AND {} → {} | XOR {} → {} | {} rewrites / {} cuts | {:.2}s",
+            self.ands_before,
+            self.ands_after,
+            self.xors_before,
+            self.xors_after,
+            self.rewrites_applied,
+            self.cuts_considered,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// Statistics of a full until-convergence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Per-round statistics, in order.
+    pub rounds: Vec<RoundStats>,
+    /// True iff the loop stopped because no further improvement was found
+    /// (as opposed to hitting the round limit).
+    pub converged: bool,
+}
+
+impl RewriteStats {
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// AND count before the first round.
+    pub fn ands_before(&self) -> usize {
+        self.rounds.first().map(|r| r.ands_before).unwrap_or(0)
+    }
+
+    /// AND count after the last round.
+    pub fn ands_after(&self) -> usize {
+        self.rounds.last().map(|r| r.ands_after).unwrap_or(0)
+    }
+
+    /// Total wall-clock time across rounds.
+    pub fn total_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Overall AND improvement, in percent.
+    pub fn improvement_pct(&self) -> f64 {
+        let before = self.ands_before();
+        if before == 0 {
+            0.0
+        } else {
+            100.0 * (before - self.ands_after()) as f64 / before as f64
+        }
+    }
+}
+
+impl core::fmt::Display for RewriteStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} rounds, AND {} → {} ({:.1}% improvement), {:.2}s{}",
+            self.num_rounds(),
+            self.ands_before(),
+            self.ands_after(),
+            self.improvement_pct(),
+            self.total_time().as_secs_f64(),
+            if self.converged { "" } else { " (round limit)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(before: usize, after: usize) -> RoundStats {
+        RoundStats {
+            ands_before: before,
+            xors_before: 0,
+            ands_after: after,
+            xors_after: 0,
+            rewrites_applied: 1,
+            cuts_considered: 10,
+            elapsed: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn improvement_percentages() {
+        let r = round(100, 66);
+        assert!((r.improvement_pct() - 34.0).abs() < 1e-9);
+        let s = RewriteStats {
+            rounds: vec![round(100, 80), round(80, 50)],
+            converged: true,
+        };
+        assert_eq!(s.ands_before(), 100);
+        assert_eq!(s.ands_after(), 50);
+        assert!((s.improvement_pct() - 50.0).abs() < 1e-9);
+        assert_eq!(s.num_rounds(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RewriteStats {
+            rounds: vec![round(10, 5)],
+            converged: false,
+        };
+        let text = format!("{s}");
+        assert!(text.contains("10 → 5"));
+        assert!(text.contains("round limit"));
+    }
+}

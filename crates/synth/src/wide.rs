@@ -1,0 +1,112 @@
+//! Synthesis of functions with more than six variables.
+//!
+//! Wide table-defined logic (AES S-box coordinates are 8-input functions)
+//! is decomposed by positive Davio expansion on the *top* variable until
+//! the six-variable kernel takes over. Affine sub-functions are detected at
+//! every level so that e.g. wide parities stay AND-free.
+
+use xag_network::{FragRef, XagFragment};
+use xag_tt::DynTt;
+
+use crate::Synthesizer;
+
+/// Recursively synthesizes a dynamic truth table. See
+/// [`Synthesizer::synthesize_wide`].
+pub fn synthesize(s: &mut Synthesizer, f: &DynTt) -> XagFragment {
+    assert!(f.vars() <= 16, "wide synthesis limited to 16 variables");
+    if let Some(tt) = f.to_tt() {
+        return s.synthesize(tt);
+    }
+    let n = f.vars();
+    if let Some((mask, constant)) = f.affine_decomposition() {
+        let mut frag = XagFragment::new(n);
+        let refs: Vec<FragRef> = (0..n)
+            .filter(|i| (mask >> i) & 1 == 1)
+            .map(XagFragment::input)
+            .collect();
+        let out = frag.xor_many(&refs);
+        frag.set_output(out.complement_if(constant));
+        return frag;
+    }
+
+    let top = n - 1;
+    let f0 = f.top_cofactor0();
+    let f1 = f.top_cofactor1();
+    let d = f0.xor(&f1);
+
+    let identity: Vec<usize> = (0..top).collect();
+    let build = |s: &mut Synthesizer, base_fn: &DynTt, positive: bool| -> XagFragment {
+        let frag_base = synthesize(s, base_fn).with_inputs(n, &identity);
+        let xi = XagFragment::input(top).complement_if(!positive);
+        let mut frag = XagFragment::new(n);
+        let base = frag.append_fragment(&frag_base);
+        let out = if d.is_zero() {
+            base
+        } else if d.is_one() {
+            frag.xor(base, xi)
+        } else {
+            let fragd = synthesize(s, &d).with_inputs(n, &identity);
+            let dref = frag.append_fragment(&fragd);
+            let prod = frag.and(xi, dref);
+            frag.xor(base, prod)
+        };
+        frag.set_output(out);
+        frag
+    };
+    let pos = build(s, &f0, true);
+    let neg = build(s, &f1, false);
+    if pos.num_ands() <= neg.num_ands() {
+        pos
+    } else {
+        neg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xag_network::Xag;
+
+    fn check_wide(f: &DynTt, max_ands: usize) {
+        let mut s = Synthesizer::new();
+        let frag = synthesize(&mut s, f);
+        assert!(frag.num_ands() <= max_ands, "used {}", frag.num_ands());
+        // Verify by network simulation on every minterm.
+        let mut xag = Xag::new();
+        let ins: Vec<_> = (0..f.vars()).map(|_| xag.input()).collect();
+        let out = frag.instantiate(&mut xag, &ins);
+        xag.output(out);
+        for m in 0..(1u64 << f.vars()) {
+            assert_eq!(xag.evaluate(m)[0], f.eval(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn wide_parity_is_free() {
+        let f = DynTt::from_fn(8, |m| m.count_ones() % 2 == 1);
+        check_wide(&f, 0);
+    }
+
+    #[test]
+    fn wide_and_chain() {
+        let f = DynTt::from_fn(8, |m| m == 255);
+        check_wide(&f, 7);
+    }
+
+    #[test]
+    fn wide_threshold_function() {
+        let f = DynTt::from_fn(7, |m| m.count_ones() >= 4);
+        check_wide(&f, 40);
+    }
+
+    #[test]
+    fn sbox_like_function() {
+        // A nonlinear 8-input function mixing arithmetic and bit operations,
+        // resembling an S-box coordinate.
+        let f = DynTt::from_fn(8, |m| {
+            let y = m.wrapping_mul(0x1d).wrapping_add(0x63) ^ (m >> 3);
+            (y >> 2) & 1 == 1
+        });
+        check_wide(&f, 60);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for MC-oriented synthesis.
+
+use proptest::prelude::*;
+use xag_synth::{quadratic_rank, SynthConfig, Synthesizer};
+use xag_tt::Tt;
+
+fn arb_tt() -> impl Strategy<Value = Tt> {
+    (any::<u64>(), 1usize..=6).prop_map(|(bits, vars)| Tt::from_bits(bits, vars))
+}
+
+/// Random quadratic function: XOR of random products of linear forms plus a
+/// random affine part.
+fn arb_quadratic() -> impl Strategy<Value = Tt> {
+    (
+        2usize..=6,
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, prods, lin, c)| {
+            let mask = (1u64 << n) - 1;
+            let linf = |m: u64| Tt::from_fn(n, move |x| ((x & m & mask).count_ones() % 2) == 1);
+            let mut f = linf(lin);
+            if c {
+                f = !f;
+            }
+            for (a, b) in prods {
+                f = f ^ (linf(a) & linf(b));
+            }
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn synthesis_is_functionally_correct(f in arb_tt()) {
+        let mut s = Synthesizer::new();
+        let frag = s.synthesize(f);
+        prop_assert_eq!(frag.eval_tt(), f);
+    }
+
+    #[test]
+    fn quadratics_hit_the_symplectic_optimum(f in arb_quadratic()) {
+        prop_assume!(f.degree() == 2);
+        let mut s = Synthesizer::new();
+        let frag = s.synthesize(f);
+        prop_assert_eq!(frag.eval_tt(), f);
+        prop_assert_eq!(frag.num_ands(), quadratic_rank(f) / 2);
+    }
+
+    #[test]
+    fn complement_costs_the_same(f in arb_tt()) {
+        let mut s = Synthesizer::new();
+        let a = s.synthesize(f).num_ands();
+        let b = s.synthesize(!f).num_ands();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disabling_exact_search_only_raises_counts(f in arb_tt()) {
+        let mut fast = Synthesizer::with_config(SynthConfig {
+            exact_search_max_vars: 0,
+        });
+        let mut full = Synthesizer::new();
+        let without = fast.synthesize(f);
+        let with = full.synthesize(f);
+        prop_assert_eq!(without.eval_tt(), f);
+        prop_assert!(with.num_ands() <= without.num_ands());
+    }
+
+    #[test]
+    fn degree_lower_bound_is_respected(f in arb_tt()) {
+        // A circuit with k ANDs computes degree ≤ 2^k, so k ≥ ⌈log₂ degree⌉.
+        let mut s = Synthesizer::new();
+        let frag = s.synthesize(f);
+        let deg = f.degree();
+        if deg >= 1 {
+            let lower = (32 - (deg - 1).leading_zeros()) as usize;
+            prop_assert!(frag.num_ands() >= lower, "{} ANDs for degree {deg}", frag.num_ands());
+        } else {
+            prop_assert_eq!(frag.num_ands(), 0);
+        }
+    }
+}

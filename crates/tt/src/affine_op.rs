@@ -1,0 +1,147 @@
+use crate::Tt;
+
+/// One of the five affine operations of the paper's Definition 2.1.
+///
+/// Multiplicative complexity is invariant under every operation: each can be
+/// realized by input/output XOR gates, inverters, or wire permutations, none
+/// of which use AND gates. Every operation is an involution, so a sequence of
+/// operations is undone by replaying it in reverse order.
+///
+/// # Examples
+///
+/// ```
+/// use xag_tt::{AffineOp, Tt};
+///
+/// // The paper's Example 2.3: x0 ∧ x1 is affine-equivalent to the
+/// // majority ⟨x0x1x2⟩ via four affine operations.
+/// let and = Tt::from_bits(0x88, 3);
+/// let maj = AffineOp::apply_all(
+///     and,
+///     &[
+///         AffineOp::FlipInput(1),
+///         AffineOp::Translate { dst: 1, src: 2 },
+///         AffineOp::Translate { dst: 0, src: 1 },
+///         AffineOp::XorOutput(0),
+///     ],
+/// );
+/// assert_eq!(maj.bits(), 0xe8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AffineOp {
+    /// Swap inputs `x_i` and `x_j` (operation 1).
+    Swap(usize, usize),
+    /// Complement input `x_i` (operation 2).
+    FlipInput(usize),
+    /// Complement the output (operation 3).
+    FlipOutput,
+    /// Replace `x_dst` by `x_dst ⊕ x_src` (operation 4, translational).
+    Translate {
+        /// The input being replaced.
+        dst: usize,
+        /// The input XOR-ed into `dst`.
+        src: usize,
+    },
+    /// XOR input `x_i` into the output (operation 5, disjoint translational).
+    XorOutput(usize),
+}
+
+impl AffineOp {
+    /// Applies the operation to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input index is out of range for `tt`.
+    pub fn apply(self, tt: Tt) -> Tt {
+        match self {
+            AffineOp::Swap(i, j) => tt.swap_vars(i, j),
+            AffineOp::FlipInput(i) => tt.flip_var(i),
+            AffineOp::FlipOutput => !tt,
+            AffineOp::Translate { dst, src } => tt.translate(dst, src),
+            AffineOp::XorOutput(i) => tt.xor_input(i),
+        }
+    }
+
+    /// Applies a sequence of operations left to right.
+    pub fn apply_all(tt: Tt, ops: &[AffineOp]) -> Tt {
+        ops.iter().fold(tt, |t, &op| op.apply(t))
+    }
+
+    /// The inverse operation. All five operations are involutions, so this is
+    /// the identity function; it exists to make call sites self-documenting.
+    #[inline]
+    pub fn inverse(self) -> AffineOp {
+        self
+    }
+
+    /// Undoes a sequence: applies the inverses in reverse order.
+    pub fn undo_all(tt: Tt, ops: &[AffineOp]) -> Tt {
+        ops.iter().rev().fold(tt, |t, &op| op.inverse().apply(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops(n: usize) -> Vec<AffineOp> {
+        let mut ops = vec![AffineOp::FlipOutput];
+        for i in 0..n {
+            ops.push(AffineOp::FlipInput(i));
+            ops.push(AffineOp::XorOutput(i));
+            for j in 0..n {
+                if i != j {
+                    ops.push(AffineOp::Swap(i, j));
+                    ops.push(AffineOp::Translate { dst: i, src: j });
+                }
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn every_op_is_an_involution() {
+        let f = Tt::from_bits(0xfee1_dead_cafe_babe, 6);
+        for op in all_ops(6) {
+            assert_eq!(op.apply(op.apply(f)), f, "{op:?} is not an involution");
+        }
+    }
+
+    #[test]
+    fn ops_preserve_degree_above_one() {
+        // Affine ops preserve algebraic degree for degree ≥ 2 functions.
+        let f = Tt::from_bits(0xe8, 3); // degree 2
+        for op in all_ops(3) {
+            assert_eq!(op.apply(f).degree(), 2, "{op:?} changed the degree");
+        }
+    }
+
+    #[test]
+    fn undo_all_reverses_apply_all() {
+        let f = Tt::from_bits(0x1234_5678_9abc_def0, 6);
+        let ops = [
+            AffineOp::Swap(0, 3),
+            AffineOp::Translate { dst: 2, src: 5 },
+            AffineOp::FlipInput(1),
+            AffineOp::XorOutput(4),
+            AffineOp::FlipOutput,
+            AffineOp::Translate { dst: 5, src: 0 },
+        ];
+        let g = AffineOp::apply_all(f, &ops);
+        assert_eq!(AffineOp::undo_all(g, &ops), f);
+    }
+
+    #[test]
+    fn example_2_3_full_chain() {
+        // x0 ∧ x1 (with x2 don't care) → majority, following Example 2.3
+        // in reverse.
+        let and = Tt::from_bits(0x88, 3);
+        let ops = [
+            AffineOp::FlipInput(1),
+            AffineOp::Translate { dst: 1, src: 2 },
+            AffineOp::Translate { dst: 0, src: 1 },
+            AffineOp::XorOutput(0),
+        ];
+        let maj = AffineOp::apply_all(and, &ops);
+        assert_eq!(maj.bits(), 0xe8);
+    }
+}

@@ -1,0 +1,242 @@
+use crate::{Tt, MAX_VARS};
+
+/// A dynamically sized truth table for functions with more than six
+/// variables.
+///
+/// The table is stored as packed 64-bit words: word `w` bit `b` holds
+/// `f(64·w + b)` with the same variable numbering as [`Tt`]. [`DynTt`] is used
+/// when synthesizing table-defined logic wider than a cut — e.g. the 8-input
+/// AES S-box coordinates or DES S-box outputs before support shrinking.
+///
+/// # Examples
+///
+/// ```
+/// use xag_tt::DynTt;
+///
+/// let f = DynTt::from_fn(8, |m| m.count_ones() % 2 == 1);
+/// assert_eq!(f.vars(), 8);
+/// assert!(f.is_affine());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynTt {
+    words: Vec<u64>,
+    vars: usize,
+}
+
+impl DynTt {
+    fn word_count(vars: usize) -> usize {
+        if vars <= MAX_VARS {
+            1
+        } else {
+            1usize << (vars - MAX_VARS)
+        }
+    }
+
+    /// The constant-zero function over `vars` variables.
+    pub fn zero(vars: usize) -> Self {
+        Self {
+            words: vec![0; Self::word_count(vars)],
+            vars,
+        }
+    }
+
+    /// Builds a table by evaluating `f` at every minterm.
+    pub fn from_fn(vars: usize, mut f: impl FnMut(u64) -> bool) -> Self {
+        let mut t = Self::zero(vars);
+        for m in 0..(1u64 << vars) {
+            if f(m) {
+                t.set(m);
+            }
+        }
+        t
+    }
+
+    /// Lifts a small table into a [`DynTt`].
+    pub fn from_tt(tt: Tt) -> Self {
+        Self {
+            words: vec![tt.bits()],
+            vars: tt.vars(),
+        }
+    }
+
+    /// Converts to a small table when `vars ≤ 6`.
+    pub fn to_tt(&self) -> Option<Tt> {
+        if self.vars <= MAX_VARS {
+            Some(Tt::from_bits(self.words[0], self.vars))
+        } else {
+            None
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Sets the value at a minterm to one.
+    #[inline]
+    pub fn set(&mut self, minterm: u64) {
+        self.words[(minterm >> 6) as usize] |= 1 << (minterm & 63);
+    }
+
+    /// Evaluates the function at a minterm.
+    #[inline]
+    pub fn eval(&self, minterm: u64) -> bool {
+        (self.words[(minterm >> 6) as usize] >> (minterm & 63)) & 1 == 1
+    }
+
+    /// True iff the function is constant zero.
+    pub fn is_zero(&self) -> bool {
+        if self.vars <= MAX_VARS {
+            self.words[0] & Tt::mask(self.vars) == 0
+        } else {
+            self.words.iter().all(|&w| w == 0)
+        }
+    }
+
+    /// True iff the function is constant one.
+    pub fn is_one(&self) -> bool {
+        if self.vars <= MAX_VARS {
+            self.words[0] & Tt::mask(self.vars) == Tt::mask(self.vars)
+        } else {
+            self.words.iter().all(|&w| w == u64::MAX)
+        }
+    }
+
+    /// Negative cofactor with respect to the *top* variable
+    /// (`x_{vars-1} = 0`); the result has one variable fewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no variables.
+    pub fn top_cofactor0(&self) -> Self {
+        assert!(self.vars > 0);
+        if self.vars <= MAX_VARS {
+            Self::from_tt(self.to_tt().expect("small").cofactor0(self.vars - 1))
+                .resize_down(self.vars - 1)
+        } else {
+            let half = self.words.len() / 2;
+            Self {
+                words: self.words[..half].to_vec(),
+                vars: self.vars - 1,
+            }
+        }
+    }
+
+    /// Positive cofactor with respect to the top variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no variables.
+    pub fn top_cofactor1(&self) -> Self {
+        assert!(self.vars > 0);
+        if self.vars <= MAX_VARS {
+            Self::from_tt(self.to_tt().expect("small").cofactor1(self.vars - 1))
+                .resize_down(self.vars - 1)
+        } else {
+            let half = self.words.len() / 2;
+            Self {
+                words: self.words[half..].to_vec(),
+                vars: self.vars - 1,
+            }
+        }
+    }
+
+    fn resize_down(mut self, vars: usize) -> Self {
+        self.vars = vars;
+        self.words[0] &= Tt::mask(vars);
+        self.words.truncate(Self::word_count(vars));
+        self
+    }
+
+    /// XOR of two tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.vars, other.vars);
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+            vars: self.vars,
+        }
+    }
+
+    /// True iff the function is affine (algebraic degree ≤ 1).
+    pub fn is_affine(&self) -> bool {
+        self.affine_decomposition().is_some()
+    }
+
+    /// Decomposes an affine function into `(variable mask, constant)`, or
+    /// `None` if the function is not affine.
+    pub fn affine_decomposition(&self) -> Option<(u64, bool)> {
+        // Evaluate at 0 and at each unit vector, then verify linearity on
+        // every minterm. Cost 2^n — the same as reading the table once.
+        let constant = self.eval(0);
+        let mut mask = 0u64;
+        for i in 0..self.vars {
+            if self.eval(1 << i) != constant {
+                mask |= 1 << i;
+            }
+        }
+        for m in 0..(1u64 << self.vars) {
+            let expected = ((m & mask).count_ones() % 2 == 1) ^ constant;
+            if self.eval(m) != expected {
+                return None;
+            }
+        }
+        Some((mask, constant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_parity_is_affine() {
+        let f = DynTt::from_fn(9, |m| m.count_ones() % 2 == 0);
+        assert_eq!(f.affine_decomposition(), Some((0x1ff, true)));
+    }
+
+    #[test]
+    fn wide_and_is_not_affine() {
+        let f = DynTt::from_fn(8, |m| m == 0xff);
+        assert!(!f.is_affine());
+        assert!(!f.is_zero());
+        assert!(!f.is_one());
+    }
+
+    #[test]
+    fn cofactors_split_words() {
+        let f = DynTt::from_fn(8, |m| m >= 128);
+        assert!(f.top_cofactor0().is_zero());
+        assert!(f.top_cofactor1().is_one());
+        let g = DynTt::from_fn(8, |m| (m >> 3) & 1 == 1);
+        assert_eq!(g.top_cofactor0(), DynTt::from_fn(7, |m| (m >> 3) & 1 == 1));
+    }
+
+    #[test]
+    fn small_tables_roundtrip() {
+        let t = Tt::from_bits(0xe8, 3);
+        let d = DynTt::from_tt(t);
+        assert_eq!(d.to_tt(), Some(t));
+        assert_eq!(d.top_cofactor1().to_tt().unwrap().bits(), 0xe); // maj with x2=1: OR
+    }
+
+    #[test]
+    fn xor_matches_pointwise() {
+        let a = DynTt::from_fn(7, |m| m % 3 == 0);
+        let b = DynTt::from_fn(7, |m| m % 5 == 0);
+        let c = a.xor(&b);
+        for m in 0..128 {
+            assert_eq!(c.eval(m), a.eval(m) ^ b.eval(m));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the truth-table kernel.
+
+use proptest::prelude::*;
+use xag_tt::{AffineOp, Tt};
+
+fn arb_tt() -> impl Strategy<Value = Tt> {
+    (any::<u64>(), 1usize..=6).prop_map(|(bits, vars)| Tt::from_bits(bits, vars))
+}
+
+fn arb_op(vars: usize) -> impl Strategy<Value = AffineOp> {
+    let v = vars;
+    prop_oneof![
+        (0..v, 0..v)
+            .prop_filter("distinct", |(i, j)| i != j)
+            .prop_map(|(i, j)| AffineOp::Swap(i, j)),
+        (0..v).prop_map(AffineOp::FlipInput),
+        Just(AffineOp::FlipOutput),
+        (0..v, 0..v)
+            .prop_filter("distinct", |(i, j)| i != j)
+            .prop_map(|(dst, src)| AffineOp::Translate { dst, src }),
+        (0..v).prop_map(AffineOp::XorOutput),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn anf_roundtrip(t in arb_tt()) {
+        prop_assert_eq!(Tt::from_anf(t.anf(), t.vars()), t);
+    }
+
+    #[test]
+    fn walsh_parseval(t in arb_tt()) {
+        let s = t.walsh_spectrum();
+        let sum: i64 = s.iter().map(|&v| (v as i64) * (v as i64)).sum();
+        prop_assert_eq!(sum, 1i64 << (2 * t.vars()));
+    }
+
+    #[test]
+    fn shannon_reconstruction(t in arb_tt(), i in 0usize..6) {
+        let i = i % t.vars();
+        let xi = Tt::projection(i, t.vars());
+        prop_assert_eq!((xi & t.cofactor1(i)) | (!xi & t.cofactor0(i)), t);
+    }
+
+    #[test]
+    fn ops_are_involutions(t in arb_tt().prop_flat_map(|t| {
+        let vars = t.vars().max(2);
+        let t = t.extend_to(vars);
+        arb_op(vars).prop_map(move |op| (t, op))
+    })) {
+        let (t, op) = t;
+        prop_assert_eq!(op.apply(op.apply(t)), t);
+    }
+
+    #[test]
+    fn ops_preserve_weight_structure(t in arb_tt().prop_flat_map(|t| {
+        let vars = t.vars().max(2);
+        let t = t.extend_to(vars);
+        proptest::collection::vec(arb_op(vars), 0..8).prop_map(move |ops| (t, ops))
+    })) {
+        // Affine ops preserve algebraic degree for degree ≥ 2 (XOR-ing
+        // linear terms cannot change higher-order ANF coefficients).
+        let (t, ops) = t;
+        let g = AffineOp::apply_all(t, &ops);
+        if t.degree() >= 2 {
+            prop_assert_eq!(g.degree(), t.degree());
+        } else {
+            prop_assert!(g.degree() <= 1);
+        }
+        prop_assert_eq!(AffineOp::undo_all(g, &ops), t);
+    }
+
+    #[test]
+    fn support_shrink_preserves_semantics(t in arb_tt()) {
+        let (g, map) = t.shrink_to_support();
+        prop_assert_eq!(g.vars(), map.len());
+        for m in 0..(1u64 << t.vars()) {
+            let mut reduced = 0u64;
+            for (k, &orig) in map.iter().enumerate() {
+                reduced |= ((m >> orig) & 1) << k;
+            }
+            prop_assert_eq!(t.eval(m), g.eval(reduced));
+        }
+    }
+}

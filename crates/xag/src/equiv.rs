@@ -1,0 +1,177 @@
+use crate::network::Xag;
+
+/// Checks combinational equivalence of two networks with identical I/O
+/// counts.
+///
+/// Uses exhaustive simulation when the networks have at most 16 inputs and
+/// falls back to `rounds` rounds of 64 random vectors otherwise (a Monte
+/// Carlo check: it can prove inequivalence but only gives statistical
+/// evidence of equivalence).
+///
+/// # Panics
+///
+/// Panics if the I/O counts differ.
+pub fn equiv(a: &Xag, b: &Xag, seed: u64, rounds: usize) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    if a.num_inputs() <= 16 {
+        equiv_exhaustive(a, b)
+    } else {
+        equiv_random(a, b, seed, rounds)
+    }
+}
+
+/// Exhaustively compares two networks on all `2^n` assignments.
+///
+/// # Panics
+///
+/// Panics if the I/O counts differ or there are more than 24 inputs (the
+/// check would need more than `2^24` evaluations).
+pub fn equiv_exhaustive(a: &Xag, b: &Xag) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let n = a.num_inputs();
+    assert!(n <= 24, "exhaustive check limited to 24 inputs");
+    // Simulate 64 minterms per word: input i pattern within a block of 64
+    // minterms starting at base.
+    let total: u64 = 1u64 << n;
+    let mut m = 0u64;
+    while m < total {
+        let words: Vec<u64> = (0..n)
+            .map(|i| {
+                if i < 6 {
+                    // Repeating projection pattern within the 64-minterm block.
+                    [
+                        0xaaaa_aaaa_aaaa_aaaa,
+                        0xcccc_cccc_cccc_cccc,
+                        0xf0f0_f0f0_f0f0_f0f0,
+                        0xff00_ff00_ff00_ff00,
+                        0xffff_0000_ffff_0000,
+                        0xffff_ffff_0000_0000,
+                    ][i]
+                } else if (m >> i) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mask = if total - m >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (total - m)) - 1
+        };
+        let ra = a.simulate(&words);
+        let rb = b.simulate(&words);
+        if ra
+            .iter()
+            .zip(&rb)
+            .any(|(x, y)| (x ^ y) & mask != 0)
+        {
+            return false;
+        }
+        m += 64;
+    }
+    true
+}
+
+/// Compares two networks on `rounds × 64` pseudo-random vectors.
+///
+/// Deterministic for a fixed `seed` (xorshift64* generator). Returns `false`
+/// as soon as a distinguishing vector is found.
+///
+/// # Panics
+///
+/// Panics if the I/O counts differ.
+pub fn equiv_random(a: &Xag, b: &Xag, seed: u64, rounds: usize) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..a.num_inputs()).map(|_| next()).collect();
+        if a.simulate(&words) != b.simulate(&words) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Signal;
+
+    fn adder_like(cheap: bool) -> Xag {
+        let mut x = Xag::new();
+        let a = x.input();
+        let b = x.input();
+        let c = x.input();
+        let cout = if cheap {
+            x.maj(a, b, c)
+        } else {
+            let ab = x.and(a, b);
+            let ac = x.and(a, c);
+            let bc = x.and(b, c);
+            let t = x.xor(ab, ac);
+            x.xor(t, bc)
+        };
+        let axb = x.xor(a, b);
+        let sum = x.xor(axb, c);
+        x.output(sum);
+        x.output(cout);
+        x
+    }
+
+    #[test]
+    fn equivalent_implementations() {
+        let a = adder_like(false);
+        let b = adder_like(true);
+        assert!(equiv_exhaustive(&a, &b));
+        assert!(equiv_random(&a, &b, 7, 16));
+        assert!(equiv(&a, &b, 7, 16));
+    }
+
+    #[test]
+    fn inequivalent_networks_detected() {
+        let a = adder_like(false);
+        // A network with the carry replaced by OR: differs on input 0b011… no,
+        // OR(a,b,c-style) differs from majority exactly on single-one inputs.
+        let mut b = Xag::new();
+        let x0 = b.input();
+        let x1 = b.input();
+        let x2 = b.input();
+        let t = b.xor(x0, x1);
+        let sum = b.xor(t, x2);
+        let o1 = b.or(x0, x1);
+        let cout = b.or(o1, x2);
+        b.output(sum);
+        b.output(cout);
+        assert!(!equiv_exhaustive(&a, &b));
+        assert!(!equiv_random(&a, &b, 1, 8));
+    }
+
+    #[test]
+    fn wide_networks_use_random_sim() {
+        let mut a = Xag::new();
+        let ins: Vec<Signal> = (0..40).map(|_| a.input()).collect();
+        let mut acc = Signal::CONST0;
+        for &i in &ins {
+            acc = a.xor(acc, i);
+        }
+        a.output(acc);
+        let mut b = Xag::new();
+        let ins2: Vec<Signal> = (0..40).map(|_| b.input()).collect();
+        let mut acc2 = Signal::CONST0;
+        for &i in ins2.iter().rev() {
+            acc2 = b.xor(acc2, i);
+        }
+        b.output(acc2);
+        assert!(equiv(&a, &b, 42, 32));
+    }
+}

@@ -1,0 +1,60 @@
+//! XOR-AND graph (XAG) logic networks.
+//!
+//! An XAG is a directed acyclic graph whose internal nodes are two-input AND
+//! or XOR gates and whose edges may be complemented (the paper's dashed
+//! edges). It is the natural representation for cryptography-oriented logic
+//! synthesis because XOR and NOT are free in MPC/FHE cost models while AND
+//! gates — the *multiplicative complexity* — are the bottleneck.
+//!
+//! The central type is [`Xag`]:
+//!
+//! * gates are created through [`Xag::and`] / [`Xag::xor`] / [`Xag::not`],
+//!   which constant-fold and structurally hash, so the graph never contains
+//!   two gates with the same fanins;
+//! * [`Xag::substitute`] replaces a node by an arbitrary signal and
+//!   re-hashes/re-normalizes the transitive fanout, which is the primitive
+//!   cut rewriting is built on;
+//! * [`Xag::simulate`] runs 64 test vectors per word through the network,
+//!   and [`equiv`] decides equivalence (exhaustively up to 16 inputs,
+//!   by random simulation beyond);
+//! * [`XagFragment`] is a small reusable sub-circuit template (the database
+//!   entries of the DAC'19 flow) that can be instantiated into a network;
+//! * [`bristol`] reads and writes Bristol-fashion circuit files, the
+//!   interchange format of the MPC community.
+//!
+//! # Examples
+//!
+//! Build the paper's Figure 1 full adder and count its AND gates:
+//!
+//! ```
+//! use xag_network::Xag;
+//!
+//! let mut xag = Xag::new();
+//! let a = xag.input();
+//! let b = xag.input();
+//! let cin = xag.input();
+//! let axb = xag.xor(a, b);
+//! let sum = xag.xor(axb, cin);
+//! let ab = xag.and(a, b);
+//! let ac = xag.and(a, cin);
+//! let bc = xag.and(b, cin);
+//! let t = xag.xor(ab, ac);
+//! let cout = xag.xor(t, bc);
+//! xag.output(sum);
+//! xag.output(cout);
+//! assert_eq!(xag.num_ands(), 3);
+//! ```
+
+pub mod bristol;
+mod equiv;
+mod fragment;
+mod network;
+mod signal;
+mod verilog;
+
+pub use bristol::{read_bristol, write_bristol, ParseBristolError};
+pub use equiv::{equiv, equiv_exhaustive, equiv_random};
+pub use fragment::{FragRef, FragmentGate, XagFragment};
+pub use network::{NodeId, NodeKind, Xag};
+pub use signal::Signal;
+pub use verilog::write_verilog;

@@ -1,0 +1,120 @@
+use crate::network::NodeId;
+
+/// A (possibly complemented) edge pointing at a network node.
+///
+/// The low bit stores the complement attribute, the remaining bits the node
+/// index. Node 0 is always the constant-zero node, so
+/// [`Signal::CONST0`]/[`Signal::CONST1`] are plain values.
+///
+/// # Examples
+///
+/// ```
+/// use xag_network::Signal;
+///
+/// let s = Signal::CONST0;
+/// assert!(s.is_const());
+/// assert_eq!(!s, Signal::CONST1);
+/// assert_eq!(!!s, s);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-zero signal.
+    pub const CONST0: Signal = Signal(0);
+    /// The constant-one signal.
+    pub const CONST1: Signal = Signal(1);
+
+    /// Creates a signal from a node index and complement attribute.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Signal((node << 1) | complement as u32)
+    }
+
+    /// The node this signal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The non-complemented signal to the same node.
+    #[inline]
+    pub fn abs(self) -> Signal {
+        Signal(self.0 & !1)
+    }
+
+    /// True iff the signal is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+
+    /// Raw encoding, useful as a dense map key.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::ops::Not for Signal {
+    type Output = Signal;
+    #[inline]
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl core::ops::BitXor<bool> for Signal {
+    type Output = Signal;
+    /// XOR with a boolean conditionally complements the signal.
+    #[inline]
+    fn bitxor(self, rhs: bool) -> Signal {
+        Signal(self.0 ^ rhs as u32)
+    }
+}
+
+impl core::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+impl core::fmt::Display for Signal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_roundtrip() {
+        let s = Signal::new(42, false);
+        assert_eq!(s.node(), 42);
+        assert!(!s.is_complement());
+        assert!((!s).is_complement());
+        assert_eq!((!s).abs(), s);
+        assert_eq!(s ^ true, !s);
+        assert_eq!(s ^ false, s);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Signal::CONST0.is_const());
+        assert!(Signal::CONST1.is_const());
+        assert_eq!(!Signal::CONST0, Signal::CONST1);
+        assert_eq!(format!("{}", Signal::CONST1), "!n0");
+    }
+}

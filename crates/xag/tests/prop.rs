@@ -1,0 +1,140 @@
+//! Property-based tests for the XAG network: random construction,
+//! substitution fuzzing, cleanup and Bristol round-trips.
+
+use proptest::prelude::*;
+use xag_network::{equiv_exhaustive, read_bristol, write_bristol, Signal, Xag};
+
+/// A recipe for a random network over `n` inputs: each step picks a gate
+/// type and two previously available signals (with complements).
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    steps: Vec<(bool, usize, bool, usize, bool)>,
+    outputs: Vec<(usize, bool)>,
+}
+
+fn build(recipe: &Recipe) -> Xag {
+    let mut x = Xag::new();
+    let mut pool: Vec<Signal> = (0..recipe.inputs).map(|_| x.input()).collect();
+    pool.push(Signal::CONST0);
+    for &(is_and, a, ca, b, cb) in &recipe.steps {
+        let sa = pool[a % pool.len()] ^ ca;
+        let sb = pool[b % pool.len()] ^ cb;
+        let s = if is_and { x.and(sa, sb) } else { x.xor(sa, sb) };
+        pool.push(s);
+    }
+    for &(o, c) in &recipe.outputs {
+        let s = pool[o % pool.len()] ^ c;
+        x.output(s);
+    }
+    x
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..=8, 1usize..40, 1usize..5).prop_flat_map(|(inputs, gates, outs)| {
+        (
+            proptest::collection::vec(
+                (any::<bool>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
+                gates,
+            ),
+            proptest::collection::vec((any::<usize>(), any::<bool>()), outs),
+        )
+            .prop_map(move |(steps, outputs)| Recipe {
+                inputs,
+                steps,
+                outputs,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cleanup_preserves_function(recipe in arb_recipe()) {
+        let x = build(&recipe);
+        let y = x.cleanup();
+        prop_assert!(equiv_exhaustive(&x, &y));
+        prop_assert_eq!(x.num_ands(), y.num_ands());
+        prop_assert_eq!(x.num_xors(), y.num_xors());
+    }
+
+    #[test]
+    fn bristol_roundtrip(recipe in arb_recipe()) {
+        let x = build(&recipe);
+        let mut buf = Vec::new();
+        write_bristol(&x, &mut buf).expect("write");
+        let y = read_bristol(buf.as_slice()).expect("read");
+        prop_assert!(equiv_exhaustive(&x, &y));
+        // The reader must not create more ANDs than the writer printed.
+        prop_assert_eq!(x.num_ands(), y.num_ands());
+    }
+
+    #[test]
+    fn substitute_equivalent_cone_preserves_function(
+        recipe in arb_recipe(),
+        pick in any::<usize>(),
+    ) {
+        // Replace a random gate by a freshly rebuilt equivalent cone
+        // (rebuilding through the strash should hit the same nodes or
+        // equivalent ones), then check I/O equivalence.
+        let mut x = build(&recipe);
+        let gates = x.live_gates();
+        prop_assume!(!gates.is_empty());
+        let target = gates[pick % gates.len()];
+        // Rebuild the target's function from its fanins with the same ops:
+        // substituting a node by itself-equivalent signal is a no-op or a
+        // strash merge; both must preserve the network function.
+        let (f0, f1) = x.fanins(target);
+        let rebuilt = match x.kind(target) {
+            xag_network::NodeKind::And => {
+                // a & b  ==  !(!a | !b) == !(!(!!a & !!b))... simply re-AND.
+                let t = x.and(f0, f1);
+                t
+            }
+            xag_network::NodeKind::Xor => {
+                let t = x.xor(!f0, !f1);
+                t
+            }
+            _ => unreachable!(),
+        };
+        let reference = x.cleanup();
+        if !x.is_in_tfi(target, rebuilt) {
+            x.substitute(target, rebuilt);
+            prop_assert!(equiv_exhaustive(&reference, &x.cleanup()));
+        }
+    }
+
+    #[test]
+    fn substitute_by_constant_keeps_consistency(
+        recipe in arb_recipe(),
+        pick in any::<usize>(),
+        value in any::<bool>(),
+    ) {
+        // Replacing any gate by a constant must leave a structurally sound
+        // network (no panics, simulation works, counts consistent).
+        let mut x = build(&recipe);
+        let gates = x.live_gates();
+        prop_assume!(!gates.is_empty());
+        let target = gates[pick % gates.len()];
+        let c = Signal::CONST0 ^ value;
+        x.substitute(target, c);
+        let y = x.cleanup();
+        prop_assert!(equiv_exhaustive(&x, &y));
+        prop_assert!(y.num_gates() <= x.num_gates());
+    }
+
+    #[test]
+    fn simulate_agrees_with_evaluate(recipe in arb_recipe(), assignment in any::<u64>()) {
+        let x = build(&recipe);
+        let m = assignment & ((1 << x.num_inputs()) - 1);
+        let bits = x.evaluate(m);
+        let words: Vec<u64> = (0..x.num_inputs())
+            .map(|i| if (m >> i) & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
+        let sim = x.simulate(&words);
+        for (o, &w) in sim.iter().enumerate() {
+            prop_assert_eq!(bits[o], w & 1 == 1);
+        }
+    }
+}
