@@ -1,78 +1,117 @@
-//! Property-based tests for affine classification.
+//! Randomized property tests for affine classification, driven by a
+//! fixed-seed deterministic generator.
 
-use proptest::prelude::*;
+use mc_rng::Rng;
 use xag_affine::{AffineClassifier, ClassifyConfig};
 use xag_tt::{AffineOp, Tt};
 
-fn arb_tt() -> impl Strategy<Value = Tt> {
-    (any::<u64>(), 1usize..=6).prop_map(|(bits, vars)| Tt::from_bits(bits, vars))
+fn arb_tt(rng: &mut Rng) -> Tt {
+    let vars = rng.gen_range(1..7);
+    Tt::from_bits(rng.next_u64(), vars)
 }
 
-fn arb_op(vars: usize) -> impl Strategy<Value = AffineOp> {
-    prop_oneof![
-        (0..vars, 0..vars)
-            .prop_filter("distinct", |(i, j)| i != j)
-            .prop_map(|(i, j)| AffineOp::Swap(i, j)),
-        (0..vars).prop_map(AffineOp::FlipInput),
-        Just(AffineOp::FlipOutput),
-        (0..vars, 0..vars)
-            .prop_filter("distinct", |(i, j)| i != j)
-            .prop_map(|(dst, src)| AffineOp::Translate { dst, src }),
-        (0..vars).prop_map(AffineOp::XorOutput),
-    ]
+fn arb_op(rng: &mut Rng, vars: usize) -> AffineOp {
+    loop {
+        match rng.gen_range(0..5) {
+            0 => {
+                let i = rng.gen_range(0..vars);
+                let j = rng.gen_range(0..vars);
+                if i != j {
+                    return AffineOp::Swap(i, j);
+                }
+            }
+            1 => return AffineOp::FlipInput(rng.gen_range(0..vars)),
+            2 => return AffineOp::FlipOutput,
+            3 => {
+                let dst = rng.gen_range(0..vars);
+                let src = rng.gen_range(0..vars);
+                if dst != src {
+                    return AffineOp::Translate { dst, src };
+                }
+            }
+            _ => return AffineOp::XorOutput(rng.gen_range(0..vars)),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn replay_always_reaches_the_representative(f in arb_tt()) {
+#[test]
+fn replay_always_reaches_the_representative() {
+    let mut rng = Rng::seed_from_u64(0xAF01);
+    for _ in 0..64 {
+        let f = arb_tt(&mut rng);
         let mut cls = AffineClassifier::new();
         let c = cls.classify(f);
-        prop_assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative);
+        assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative, "{f:?}");
     }
+}
 
-    #[test]
-    fn classification_is_idempotent(f in arb_tt()) {
+#[test]
+fn classification_is_idempotent() {
+    let mut rng = Rng::seed_from_u64(0xAF02);
+    for _ in 0..64 {
+        let f = arb_tt(&mut rng);
         let mut cls = AffineClassifier::new();
         let c = cls.classify(f);
         let c2 = cls.classify(c.representative);
-        prop_assert_eq!(c2.representative, c.representative);
+        assert_eq!(c2.representative, c.representative, "{f:?}");
     }
+}
 
-    #[test]
-    fn exact_classifier_is_class_invariant(
-        bits in any::<u16>(),
-        ops in proptest::collection::vec(arb_op(4), 1..6),
-    ) {
-        // For ≤ 4 variables classification is exact: any chain of affine
-        // operations lands in the same class.
-        let f = Tt::from_bits(bits as u64, 4);
+#[test]
+fn exact_classifier_is_class_invariant() {
+    // For ≤ 4 variables classification is exact: any chain of affine
+    // operations lands in the same class.
+    let mut rng = Rng::seed_from_u64(0xAF03);
+    for _ in 0..64 {
+        let f = Tt::from_bits(rng.next_u64() & 0xffff, 4);
+        let ops: Vec<AffineOp> = (0..rng.gen_range(1..6))
+            .map(|_| arb_op(&mut rng, 4))
+            .collect();
         let g = AffineOp::apply_all(f, &ops);
         let mut cls = AffineClassifier::new();
-        prop_assert_eq!(cls.classify(f).representative, cls.classify(g).representative);
+        assert_eq!(
+            cls.classify(f).representative,
+            cls.classify(g).representative,
+            "{f:?} {ops:?}"
+        );
     }
+}
 
-    #[test]
-    fn tight_budgets_stay_sound(f in arb_tt(), limit in 10usize..500) {
+#[test]
+fn tight_budgets_stay_sound() {
+    let mut rng = Rng::seed_from_u64(0xAF04);
+    for _ in 0..64 {
+        let f = arb_tt(&mut rng);
+        let limit = rng.gen_range(10..500);
         let mut cls = AffineClassifier::with_config(ClassifyConfig {
             beam_width: 2,
             iteration_limit: limit,
             patience: 1,
         });
         let c = cls.classify(f);
-        prop_assert_eq!(AffineOp::apply_all(f, &c.ops), c.representative);
+        assert_eq!(
+            AffineOp::apply_all(f, &c.ops),
+            c.representative,
+            "{f:?} limit {limit}"
+        );
     }
+}
 
-    #[test]
-    fn representative_is_linear_free_for_wide_functions(bits in any::<u64>()) {
-        let f = Tt::from_bits(bits, 6);
+#[test]
+fn representative_is_linear_free_for_wide_functions() {
+    let mut rng = Rng::seed_from_u64(0xAF05);
+    for _ in 0..64 {
+        let f = Tt::from_bits(rng.next_u64(), 6);
         let mut cls = AffineClassifier::new();
         let rep = cls.classify(f).representative;
         let anf = rep.anf();
-        prop_assert_eq!(anf & 1, 0);
+        assert_eq!(anf & 1, 0, "{f:?}");
         for i in 0..6 {
-            prop_assert_eq!((anf >> (1u64 << i)) & 1, 0, "linear term x{} survived", i);
+            assert_eq!(
+                (anf >> (1u64 << i)) & 1,
+                0,
+                "{f:?}: linear term x{i} survived"
+            );
         }
     }
 }

@@ -1,11 +1,14 @@
-//! Criterion micro-benchmarks for the flow's kernels: cut enumeration,
-//! affine classification, database synthesis, and one rewriting round.
+//! Micro-benchmarks for the flow's kernels: cut enumeration, affine
+//! classification, database synthesis, and one rewriting round.
+//!
+//! Run with `cargo bench -p xag-bench --bench kernels`
+//! (set `MC_BENCH_SAMPLES=3` for a smoke run).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use xag_affine::AffineClassifier;
+use xag_bench::harness::{black_box, BenchGroup};
 use xag_circuits::arith::{add_ripple, input_word, multiply_array, output_word};
 use xag_cuts::{enumerate_cuts, CutParams};
-use xag_mc::McOptimizer;
+use xag_mc::{McRewrite, OptContext, Pass};
 use xag_network::{Signal, Xag};
 use xag_synth::Synthesizer;
 use xag_tt::Tt;
@@ -29,63 +32,56 @@ fn multiplier_circuit(bits: usize) -> Xag {
     x
 }
 
-fn bench_cut_enumeration(c: &mut Criterion) {
+fn bench_cut_enumeration(g: &mut BenchGroup) {
     let mult = multiplier_circuit(16);
-    c.bench_function("cut_enumeration/mult16", |b| {
-        b.iter(|| {
-            let sets = enumerate_cuts(black_box(&mult), &CutParams::default());
-            black_box(sets.total())
-        })
+    g.bench_function("cut_enumeration/mult16", || {
+        let sets = enumerate_cuts(black_box(&mult), &CutParams::default());
+        black_box(sets.total())
     });
 }
 
-fn bench_classification(c: &mut Criterion) {
-    c.bench_function("classify/exhaust4var_stride", |b| {
-        b.iter(|| {
-            let mut cls = AffineClassifier::new();
-            let mut acc = 0u64;
-            for bits in (0..65_536u64).step_by(257) {
-                acc ^= cls.classify(Tt::from_bits(bits, 4)).representative.bits();
-            }
-            black_box(acc)
-        })
+fn bench_classification(g: &mut BenchGroup) {
+    g.bench_function("classify/exhaust4var_stride", || {
+        let mut cls = AffineClassifier::new();
+        let mut acc = 0u64;
+        for bits in (0..65_536u64).step_by(257) {
+            acc ^= cls.classify(Tt::from_bits(bits, 4)).representative.bits();
+        }
+        black_box(acc)
     });
-    c.bench_function("classify/6var_beam", |b| {
-        let mut seed = 0x9e3779b97f4a7c15u64;
-        b.iter(|| {
-            let mut cls = AffineClassifier::new();
-            seed = seed.rotate_left(13).wrapping_mul(0xd1342543de82ef95);
-            black_box(cls.classify(Tt::from_bits(seed, 6)).representative)
-        })
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    g.bench_function("classify/6var_beam", || {
+        let mut cls = AffineClassifier::new();
+        seed = seed.rotate_left(13).wrapping_mul(0xd1342543de82ef95);
+        black_box(cls.classify(Tt::from_bits(seed, 6)).representative)
     });
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    c.bench_function("synth/random_5var", |b| {
-        let mut seed = 0x243f6a8885a308d3u64;
-        b.iter(|| {
-            let mut s = Synthesizer::new();
-            seed = seed.rotate_left(17).wrapping_mul(0x9e3779b97f4a7c15);
-            let f = Tt::from_bits(seed, 5);
-            black_box(s.synthesize(f).num_ands())
-        })
+fn bench_synthesis(g: &mut BenchGroup) {
+    let mut seed = 0x243f6a8885a308d3u64;
+    g.bench_function("synth/random_5var", || {
+        let mut s = Synthesizer::new();
+        seed = seed.rotate_left(17).wrapping_mul(0x9e3779b97f4a7c15);
+        let f = Tt::from_bits(seed, 5);
+        black_box(s.synthesize(f).num_ands())
     });
 }
 
-fn bench_rewriting(c: &mut Criterion) {
-    c.bench_function("rewrite/adder32_one_round", |b| {
-        b.iter(|| {
-            let mut xag = adder_circuit(32);
-            let mut opt = McOptimizer::new();
-            let stats = opt.run_once(&mut xag);
-            black_box(stats.ands_after)
-        })
+fn bench_rewriting(g: &mut BenchGroup) {
+    g.bench_function("rewrite/adder32_one_round", || {
+        let mut xag = adder_circuit(32);
+        let mut ctx = OptContext::new();
+        let stats = McRewrite::new().run(&mut xag, &mut ctx);
+        black_box(stats.ands_after)
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cut_enumeration, bench_classification, bench_synthesis, bench_rewriting
+fn main() {
+    let mut g = BenchGroup::new("kernels");
+    g.sample_size(10);
+    bench_cut_enumeration(&mut g);
+    bench_classification(&mut g);
+    bench_synthesis(&mut g);
+    bench_rewriting(&mut g);
+    g.finish();
 }
-criterion_main!(kernels);

@@ -1,14 +1,16 @@
-//! Criterion wrapper around the Table-1 experiment (reduced scale): each
-//! benchmark measures the full flow (baseline + MC rewriting to
-//! convergence) on one EPFL circuit and reports the achieved AND counts
-//! through Criterion's output.
+//! Benchmark wrapper around the Table-1 experiment (reduced scale): each
+//! entry measures the full flow (baseline + MC rewriting to convergence)
+//! on one EPFL circuit and reports the achieved AND counts through the
+//! harness output.
+//!
+//! Run with `cargo bench -p xag-bench --bench table1_arith`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xag_bench::harness::{black_box, BenchGroup};
 use xag_bench::run_flow;
 use xag_circuits::epfl::{epfl_suite, Scale};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let mut group = BenchGroup::new("table1");
     group.sample_size(10);
     // Keep the per-iteration cost tractable: a representative subset is
     // measured here; the `table1` binary prints the full table.
@@ -17,15 +19,10 @@ fn bench_table1(c: &mut Criterion) {
         if !selected.contains(&bench.name) {
             continue;
         }
-        group.bench_function(bench.name, |b| {
-            b.iter(|| {
-                let flow = run_flow(black_box(&bench.xag), 1, 15);
-                black_box(flow.converged.0)
-            })
+        group.bench_function(bench.name, || {
+            let flow = run_flow(black_box(&bench.xag), 1, 15);
+            black_box(flow.converged.0)
         });
     }
     group.finish();
 }
-
-criterion_group!(table1, bench_table1);
-criterion_main!(table1);

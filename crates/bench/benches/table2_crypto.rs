@@ -1,27 +1,24 @@
-//! Criterion wrapper around the Table-2 experiment: measures the flow on
-//! the arithmetic MPC rows (the heavy cipher/hash rows are exercised by the
-//! `table2 --heavy` binary, which prints the full table).
+//! Benchmark wrapper around the Table-2 experiment: measures the flow on
+//! the arithmetic MPC rows (the heavy cipher/hash rows are exercised by
+//! the `table2 --heavy` binary, which prints the full table).
+//!
+//! Run with `cargo bench -p xag-bench --bench table2_crypto`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xag_bench::harness::{black_box, BenchGroup};
 use xag_bench::run_flow;
 use xag_circuits::mpc::mpc_suite;
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
+fn main() {
+    let mut group = BenchGroup::new("table2");
     group.sample_size(10);
     for bench in mpc_suite(false) {
         if bench.heavy {
             continue;
         }
-        group.bench_function(bench.name, |b| {
-            b.iter(|| {
-                let flow = run_flow(black_box(&bench.xag), 0, 25);
-                black_box(flow.converged.0)
-            })
+        group.bench_function(bench.name, || {
+            let flow = run_flow(black_box(&bench.xag), 0, 25);
+            black_box(flow.converged.0)
         });
     }
     group.finish();
 }
-
-criterion_group!(table2, bench_table2);
-criterion_main!(table2);

@@ -2,14 +2,15 @@
 //!
 //! The paper precomputes `XAG_DB`, one MC-optimum circuit per affine class
 //! representative (147 998 of the 150 357 six-variable classes). This
-//! reproduction synthesizes entries on demand; this tool reports what the
-//! lazily built database looks like after classifying a function sample:
-//! entry count, the AND-gate histogram of the entries, and the
-//! classification cache behaviour.
+//! reproduction synthesizes entries on demand into the shared
+//! [`OptContext`]; this tool reports what the lazily built database looks
+//! like after classifying a function sample: entry count, the AND-gate
+//! histogram per classified function, and the AND-gate histogram of the
+//! distinct database entries.
 //!
 //! Usage: `cargo run --release -p xag-bench --bin db_stats [samples]`
 
-use xag_mc::McOptimizer;
+use xag_mc::OptContext;
 use xag_tt::Tt;
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000);
 
-    let mut opt = McOptimizer::new();
+    let mut ctx = OptContext::new();
 
     // Exhaustive over ≤3-variable functions, then pseudo-random wider ones.
     let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
@@ -26,7 +27,7 @@ fn main() {
         *histogram.entry(frag.num_ands()).or_insert(0) += 1;
     };
     for bits in 0..256u64 {
-        record(&opt.candidate_for_cut(Tt::from_bits(bits, 3)));
+        record(&ctx.candidate_for_cut(Tt::from_bits(bits, 3)));
     }
     let mut state = 0x853c_49e6_748f_ea9bu64;
     for i in 0..samples {
@@ -35,13 +36,17 @@ fn main() {
             .wrapping_mul(0x2545_f491_4f6c_dd1d)
             .wrapping_add(i as u64);
         let vars = 4 + (i % 3); // 4, 5, 6
-        record(&opt.candidate_for_cut(Tt::from_bits(state, vars)));
+        record(&ctx.candidate_for_cut(Tt::from_bits(state, vars)));
     }
 
     println!("functions classified : {}", 256 + samples);
-    println!("database entries     : {}", opt.db_size());
+    println!("database entries     : {}", ctx.db_size());
     println!("entry AND histogram (per classified function):");
     for (ands, count) in &histogram {
+        println!("  {ands:>2} AND gates: {count}");
+    }
+    println!("entry AND histogram (distinct database entries):");
+    for (ands, count) in ctx.db_histogram() {
         println!("  {ands:>2} AND gates: {count}");
     }
     println!();

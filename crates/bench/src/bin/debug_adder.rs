@@ -1,10 +1,10 @@
 //! Developer tool: trace per-round AND counts while optimizing a ripple
-//! adder, to inspect convergence behaviour.
+//! adder through the pass pipeline, to inspect convergence behaviour.
 //!
 //! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars]`
 
 use xag_circuits::arith::{add_ripple, input_word, output_word};
-use xag_mc::{McOptimizer, RewriteParams};
+use xag_mc::{OptContext, Pipeline, RewriteParams};
 use xag_network::{Signal, Xag};
 
 fn main() {
@@ -31,10 +31,25 @@ fn main() {
     params.cut_params.cut_limit = cut_limit;
     params.cut_params.cut_size = cut_size;
     params.synth_config.exact_search_max_vars = exact_vars;
-    let mut opt = McOptimizer::with_params(params);
-    let stats = opt.run_to_convergence(&mut x);
-    for (i, r) in stats.rounds.iter().enumerate() {
+    let flow = Pipeline::from_params(&params);
+    println!("flow: {:?}", flow.pass_names());
+
+    let mut ctx = OptContext::with_config(params.classify_config, params.synth_config);
+    let stats = flow.run(&mut x, &mut ctx);
+    for (i, r) in stats.passes.iter().enumerate() {
         println!("round {i}: {r}");
+    }
+    println!("per-pass totals:");
+    for p in stats.per_pass() {
+        println!(
+            "  {:<18} {} runs | {} ANDs saved | {} XORs saved | {} rewrites | {:.2}s",
+            p.name,
+            p.runs,
+            p.ands_saved,
+            p.xors_saved,
+            p.rewrites_applied,
+            p.elapsed.as_secs_f64()
+        );
     }
     println!("final: {} AND {} XOR ({stats})", x.num_ands(), x.num_xors());
 }

@@ -1,8 +1,12 @@
 //! Developer tool: run the experiment flow phases on one named EPFL
 //! benchmark with verbose progress, to localize pathological behaviour.
+//!
+//! The phases are driven pass by pass — [`SizeRewrite`] for the baseline,
+//! then [`McRewrite`] rounds — over one shared [`OptContext`], mirroring
+//! what `run_flow` composes into pipelines.
 
 use xag_circuits::epfl::{epfl_suite, Scale};
-use xag_mc::{McOptimizer, RewriteParams};
+use xag_mc::{McRewrite, OptContext, Pass, SizeRewrite};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "div".into());
@@ -18,24 +22,22 @@ fn main() {
         xag.num_xors(),
         xag.capacity()
     );
+    let mut ctx = OptContext::new();
     println!("— size baseline —");
-    let mut size_opt = McOptimizer::with_params(RewriteParams {
-        max_rounds: 2,
-        ..RewriteParams::size_baseline()
-    });
+    let size_pass = SizeRewrite::new();
     for i in 0..2 {
-        let s = size_opt.run_once(&mut xag);
+        let s = size_pass.run(&mut xag, &mut ctx);
         println!("size round {i}: {s} (capacity {})", xag.capacity());
     }
     xag = xag.cleanup();
     println!("— mc rewriting —");
-    let mut opt = McOptimizer::new();
+    let mc_pass = McRewrite::new();
     for i in 0..30 {
-        let s = opt.run_once(&mut xag);
+        let s = mc_pass.run(&mut xag, &mut ctx);
         println!(
             "mc round {i}: {s} (capacity {}, db {})",
             xag.capacity(),
-            opt.db_size()
+            ctx.db_size()
         );
         if s.rewrites_applied == 0 {
             break;

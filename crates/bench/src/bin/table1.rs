@@ -10,8 +10,9 @@
 //! of hours); the improvement *shape* — arithmetic benchmarks gaining far
 //! more than random-control ones — is preserved at either scale.
 
-use xag_bench::{normalized_geomean, run_flow, TableRow};
+use xag_bench::{normalized_geomean, run_flow_with, TableRow};
 use xag_circuits::epfl::{epfl_suite, Scale};
+use xag_mc::OptContext;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -27,8 +28,11 @@ fn main() {
     let mut ctrl_pairs_one = Vec::new();
     let mut ctrl_pairs_conv = Vec::new();
 
+    // One context for the whole suite: representatives synthesized for one
+    // benchmark are reused by every later one.
+    let mut ctx = OptContext::new();
     for bench in epfl_suite(scale) {
-        let flow = run_flow(&bench.xag, 2, max_rounds);
+        let flow = run_flow_with(&mut ctx, &bench.xag, 2, max_rounds);
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),

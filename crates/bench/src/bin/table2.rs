@@ -12,8 +12,9 @@
 //! those (default 3; the paper let them run to full convergence on a Xeon,
 //! spending hours on SHA-256).
 
-use xag_bench::{normalized_geomean, run_flow, TableRow};
+use xag_bench::{normalized_geomean, run_flow_with, TableRow};
 use xag_circuits::mpc::mpc_suite;
+use xag_mc::OptContext;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,11 +32,14 @@ fn main() {
 
     let mut pairs_one = Vec::new();
     let mut pairs_conv = Vec::new();
+    // One context for the whole suite: representatives synthesized for one
+    // benchmark are reused by every later one.
+    let mut ctx = OptContext::new();
     for bench in mpc_suite(heavy) {
         // The published MPC circuits are already size-optimized, so no
         // baseline pass; heavy entries get a capped convergence loop.
         let max_rounds = if bench.heavy { rounds } else { 50 };
-        let flow = run_flow(&bench.xag, 0, max_rounds);
+        let flow = run_flow_with(&mut ctx, &bench.xag, 0, max_rounds);
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),

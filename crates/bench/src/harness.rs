@@ -1,0 +1,101 @@
+//! A minimal micro-benchmark harness (criterion stand-in, no external
+//! dependencies).
+//!
+//! The bench targets under `benches/` are compiled with `harness = false`
+//! and drive this module from their own `main`. Each measured function
+//! runs once for warm-up and then `sample_size` timed iterations; the
+//! report prints min / median / mean wall-clock times.
+//!
+//! Environment knobs:
+//!
+//! * `MC_BENCH_SAMPLES` — overrides every group's sample size (e.g. `=3`
+//!   for a smoke run).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value barrier, re-exported so bench targets don't reach into
+/// `std::hint` themselves.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A named collection of measurements with a shared sample size.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; `sample_size` defaults to 10 (or
+    /// `MC_BENCH_SAMPLES`).
+    pub fn new(name: &str) -> Self {
+        let sample_size = std::env::var("MC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        println!("benchmark group: {name}");
+        Self {
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Sets the number of timed iterations per function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("MC_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Measures `f`, printing one report line.
+    pub fn bench_function<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        let _ = std_black_box(f()); // warm-up, untimed
+        let mut times: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = std_black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {:<32} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+            format!("{}/{}", self.name, name),
+            min,
+            median,
+            mean,
+            times.len()
+        );
+        self
+    }
+
+    /// Ends the group (parity with the criterion API; prints a blank
+    /// line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut g = BenchGroup::new("test");
+        g.sample_size(2);
+        let mut calls = 0usize;
+        g.bench_function("noop", || {
+            calls += 1;
+            black_box(calls)
+        });
+        // 1 warm-up + 2 samples.
+        assert_eq!(calls, 3);
+        g.finish();
+    }
+}

@@ -66,7 +66,9 @@ fn inv16(a: u8) -> u8 {
 /// Chooses ν such that Y² + Y + ν is irreducible over GF(2⁴).
 fn choose_nu() -> u8 {
     let image: Vec<u8> = (0..16).map(|t| mul16(t, t) ^ t).collect();
-    (1..16).find(|nu| !image.contains(nu)).expect("irreducible ν exists")
+    (1..16)
+        .find(|nu| !image.contains(nu))
+        .expect("irreducible ν exists")
 }
 
 /// Multiplication in the tower GF((2⁴)²) with elements `hi·Y + lo`.
@@ -164,7 +166,7 @@ fn apply_linear(x: &mut Xag, cols: &[u8; 8], bits: &[Signal]) -> Vec<Signal> {
 /// GF(2⁴) multiplier circuit: schoolbook partial products plus the
 /// w⁴ = w + 1 reduction (16 ANDs before structural sharing).
 fn mul16_circuit(x: &mut Xag, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
-    let mut c = vec![Signal::CONST0; 7];
+    let mut c = [Signal::CONST0; 7];
     for i in 0..4 {
         for j in 0..4 {
             let p = x.and(a[i], b[j]);
@@ -195,9 +197,8 @@ impl SboxBuilder {
     pub fn new() -> Self {
         let nu = choose_nu();
         let (phi, inv) = isomorphism(nu);
-        let inv16_tts = core::array::from_fn(|bit| {
-            Tt::from_fn(4, |m| (inv16(m as u8) >> bit) & 1 == 1)
-        });
+        let inv16_tts =
+            core::array::from_fn(|bit| Tt::from_fn(4, |m| (inv16(m as u8) >> bit) & 1 == 1));
         Self {
             nu,
             phi_cols: linear_columns(&phi),
@@ -394,11 +395,7 @@ pub fn aes128(expand_key: bool) -> Xag {
     x
 }
 
-fn add_round_key(
-    x: &mut Xag,
-    state: &[Vec<Signal>],
-    rk: &[Vec<Signal>],
-) -> Vec<Vec<Signal>> {
+fn add_round_key(x: &mut Xag, state: &[Vec<Signal>], rk: &[Vec<Signal>]) -> Vec<Vec<Signal>> {
     state
         .iter()
         .zip(rk)

@@ -306,7 +306,13 @@ pub fn sine_poly(xag: &mut Xag, x: &Word) -> Word {
     // (1/6 ≈ 1/8 + 1/32, 1/120 ≈ 1/128).
     let shift_right = |w: &Word, k: usize| -> Word {
         (0..w.len())
-            .map(|i| if i + k < w.len() { w[i + k] } else { Signal::CONST0 })
+            .map(|i| {
+                if i + k < w.len() {
+                    w[i + k]
+                } else {
+                    Signal::CONST0
+                }
+            })
             .collect()
     };
     let t3a = shift_right(&x3, 3);
@@ -462,7 +468,11 @@ mod tests {
         for val in 1..256u64 {
             let out = run(&x, val);
             let int_part = eval_word(&out[..3]);
-            assert_eq!(int_part, 63 - val.leading_zeros() as u64, "log2({val}) int part");
+            assert_eq!(
+                int_part,
+                63 - val.leading_zeros() as u64,
+                "log2({val}) int part"
+            );
         }
     }
 

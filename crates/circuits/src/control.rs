@@ -7,8 +7,7 @@
 //! comparable size and role; see DESIGN.md §3 for the substitution
 //! rationale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mc_rng::Rng;
 use xag_network::{Signal, Xag};
 
 use crate::arith::{add_ripple, input_word, mux_textbook, output_word, Word};
@@ -129,7 +128,7 @@ pub fn voter(n: usize) -> Xag {
     }
     let total = counts.pop().expect("nonempty");
     // Majority iff total > n/2, i.e. total ≥ (n+1)/2.
-    let threshold = (n as u64 + 1) / 2;
+    let threshold = (n as u64).div_ceil(2);
     let thr_word: Word = (0..total.len())
         .map(|k| {
             if (threshold >> k) & 1 == 1 {
@@ -170,7 +169,7 @@ pub fn int_to_float(n: usize, e: usize, m: usize) -> Xag {
     for (i, &h) in onehot.iter().enumerate() {
         for (k, mb) in mant.iter_mut().enumerate().take(m) {
             // Bit i-1-k of the input, when the leading one is at i.
-            if i >= k + 1 {
+            if i > k {
                 let contrib = x.and(h, inp[i - 1 - k]);
                 *mb = x.or(*mb, contrib);
             }
@@ -187,13 +186,13 @@ pub fn int_to_float(n: usize, e: usize, m: usize) -> Xag {
 /// benchmarks without public netlists (`cavlc`, `i2c`, `mem_ctrl`,
 /// `router`, `alu control`).
 pub fn random_control(seed: u64, inputs: usize, outputs: usize, gates: usize) -> Xag {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut x = Xag::new();
     let mut pool: Vec<Signal> = (0..inputs).map(|_| x.input()).collect();
     // `capacity()` counts allocated nodes (constant + inputs + gates) in
     // O(1); using `num_gates()` here would make generation quadratic.
     while x.capacity() - 1 - inputs < gates {
-        let pick = |rng: &mut StdRng, pool: &[Signal]| {
+        let pick = |rng: &mut Rng, pool: &[Signal]| {
             let s = pool[rng.gen_range(0..pool.len())];
             if rng.gen_bool(0.3) {
                 !s
@@ -258,7 +257,15 @@ mod tests {
     #[test]
     fn voter_matches_majority() {
         let v = voter(9);
-        for pattern in [0u64, 0b1, 0b1111, 0b11111, 0b101010101, 0b111111111, 0b110110110] {
+        for pattern in [
+            0u64,
+            0b1,
+            0b1111,
+            0b11111,
+            0b101010101,
+            0b111111111,
+            0b110110110,
+        ] {
             let out = v.evaluate(pattern);
             assert_eq!(out[0], pattern.count_ones() >= 5, "voter({pattern:#b})");
         }

@@ -15,9 +15,7 @@
 //! S-boxes are synthesized into XAG fragments by [`xag_synth`] — exactly
 //! the 6-input table-logic case the DAC'19 database targets.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mc_rng::Rng;
 use xag_network::{Signal, Xag};
 use xag_synth::Synthesizer;
 use xag_tt::Tt;
@@ -31,12 +29,12 @@ const KEY_ROTATIONS: [usize; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2,
 /// The benchmark's S-box tables: 8 boxes × 4 rows × 16 entries, each row a
 /// permutation of 0..16 (the classical DES S-box property).
 pub fn sbox_tables() -> [[[u8; 16]; 4]; 8] {
-    let mut rng = StdRng::seed_from_u64(TABLE_SEED);
+    let mut rng = Rng::seed_from_u64(TABLE_SEED);
     let mut boxes = [[[0u8; 16]; 4]; 8];
     for b in boxes.iter_mut() {
         for row in b.iter_mut() {
             let mut vals: Vec<u8> = (0..16).collect();
-            vals.shuffle(&mut rng);
+            rng.shuffle(&mut vals);
             row.copy_from_slice(&vals);
         }
     }
@@ -45,11 +43,11 @@ pub fn sbox_tables() -> [[[u8; 16]; 4]; 8] {
 
 /// The benchmark's P permutation (32-bit) and PC-2 selection (48-of-56).
 fn permutations() -> (Vec<usize>, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(TABLE_SEED ^ 0xBEEF);
+    let mut rng = Rng::seed_from_u64(TABLE_SEED ^ 0xBEEF);
     let mut p: Vec<usize> = (0..32).collect();
-    p.shuffle(&mut rng);
+    rng.shuffle(&mut p);
     let mut pc2: Vec<usize> = (0..56).collect();
-    pc2.shuffle(&mut rng);
+    rng.shuffle(&mut pc2);
     pc2.truncate(48);
     (p, pc2)
 }
@@ -132,8 +130,7 @@ pub fn des(expand_key: bool) -> Xag {
             .collect()
     };
 
-    let (mut l, mut r): (Vec<Signal>, Vec<Signal>) =
-        (pt[..32].to_vec(), pt[32..].to_vec());
+    let (mut l, mut r): (Vec<Signal>, Vec<Signal>) = (pt[..32].to_vec(), pt[32..].to_vec());
     for rk in &round_keys {
         let f = feistel_f(&mut x, &mut synth, &tables, &p, &r, rk);
         let new_r: Vec<Signal> = l.iter().zip(&f).map(|(&a, &b)| x.xor(a, b)).collect();
@@ -153,7 +150,10 @@ pub fn des_software(pt: u64, key: u64) -> u64 {
     let (p, pc2) = permutations();
     let bit = |v: u64, i: usize| -> u64 { (v >> i) & 1 };
 
-    let mut cd: Vec<u64> = (0..64).filter(|i| i % 8 != 7).map(|i| bit(key, i)).collect();
+    let mut cd: Vec<u64> = (0..64)
+        .filter(|i| i % 8 != 7)
+        .map(|i| bit(key, i))
+        .collect();
     let mut round_keys = Vec::with_capacity(16);
     for rot in KEY_ROTATIONS {
         let (c, d) = cd.split_at(28);
@@ -242,7 +242,11 @@ mod tests {
         // Flipping one plaintext bit must change many ciphertext bits.
         let a = des_software(0, 0x1234_5678_9abc_def0);
         let b = des_software(1, 0x1234_5678_9abc_def0);
-        assert!((a ^ b).count_ones() > 16, "weak diffusion: {}", (a ^ b).count_ones());
+        assert!(
+            (a ^ b).count_ones() > 16,
+            "weak diffusion: {}",
+            (a ^ b).count_ones()
+        );
     }
 
     #[test]

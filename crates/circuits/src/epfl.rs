@@ -188,11 +188,7 @@ pub fn epfl_suite(scale: Scale) -> Vec<Benchmark> {
         "priority",
         priority_encoder(if full { 128 } else { 64 }),
     );
-    ctrl(
-        &mut out,
-        "router",
-        random_control(0x707, 60, 30, if full { 95 } else { 95 }),
-    );
+    ctrl(&mut out, "router", random_control(0x707, 60, 30, 95));
     ctrl(&mut out, "voter", voter(if full { 1001 } else { 101 }));
     out
 }

@@ -42,7 +42,13 @@ fn rotr(w: &Word, r: usize) -> Word {
 /// Logical right shift (zero fill).
 fn shr(w: &Word, r: usize) -> Word {
     (0..w.len())
-        .map(|i| if i + r < w.len() { w[i + r] } else { Signal::CONST0 })
+        .map(|i| {
+            if i + r < w.len() {
+                w[i + r]
+            } else {
+                Signal::CONST0
+            }
+        })
         .collect()
 }
 
@@ -197,7 +203,10 @@ fn primes(n: usize) -> Vec<u64> {
     let mut out = Vec::new();
     let mut cand = 2u64;
     while out.len() < n {
-        if (2..cand).take_while(|d| d * d <= cand).all(|d| cand % d != 0) {
+        if (2..cand)
+            .take_while(|d| d * d <= cand)
+            .all(|d| !cand.is_multiple_of(d))
+        {
             out.push(cand);
         }
         cand += 1;
@@ -306,8 +315,12 @@ mod tests {
             [4, 11, 16, 23],
             [6, 10, 15, 21],
         ];
-        let (mut a, mut b, mut c, mut d) =
-            (0x6745_2301u32, 0xefcd_ab89u32, 0x98ba_dcfeu32, 0x1032_5476u32);
+        let (mut a, mut b, mut c, mut d) = (
+            0x6745_2301u32,
+            0xefcd_ab89u32,
+            0x98ba_dcfeu32,
+            0x1032_5476u32,
+        );
         for i in 0..64 {
             let (f, g) = match i / 16 {
                 0 => ((b & c) | (!b & d), i),

@@ -73,7 +73,10 @@ fn rotl_lane(l: &Lane, r: usize) -> Lane {
 ///
 /// Panics if `w` is not a power of two in `1..=64`.
 pub fn keccak_f(w: usize) -> Xag {
-    assert!(w.is_power_of_two() && w <= 64, "lane width must be 2^l ≤ 64");
+    assert!(
+        w.is_power_of_two() && w <= 64,
+        "lane width must be 2^l ≤ 64"
+    );
     let l = w.trailing_zeros() as usize;
     let rounds = 12 + 2 * l;
     let rcs = round_constants(w, rounds);
@@ -108,9 +111,7 @@ pub fn keccak_f(w: usize) -> Xag {
         let d: Vec<Lane> = (0..5)
             .map(|x| {
                 let rot = rotl_lane(&c[(x + 1) % 5], 1);
-                (0..w)
-                    .map(|z| xag.xor(c[(x + 4) % 5][z], rot[z]))
-                    .collect()
+                (0..w).map(|z| xag.xor(c[(x + 4) % 5][z], rot[z])).collect()
             })
             .collect();
         for x in 0..5 {
@@ -164,7 +165,7 @@ pub fn keccak_f_software(w: usize, state: &mut [u64; 25]) {
     let rho = rho_offsets(w);
     let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
     let rotl = |v: u64, r: usize| -> u64 {
-        if r % w == 0 {
+        if r.is_multiple_of(w) {
             v
         } else {
             ((v << (r % w)) | (v >> (w - r % w))) & mask
@@ -223,8 +224,11 @@ mod tests {
             for lane_idx in 0..25 {
                 let (x, y) = (lane_idx % 5, lane_idx / 5);
                 for z in 0..w {
-                    words[w * (x + 5 * y) + z] =
-                        if (state[lane_idx] >> z) & 1 == 1 { u64::MAX } else { 0 };
+                    words[w * (x + 5 * y) + z] = if (state[lane_idx] >> z) & 1 == 1 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
                 }
             }
             let out = xag.simulate(&words);

@@ -1,3 +1,8 @@
+// The cipher/hash generators index state arrays with the round/lane/word
+// variables of their standards (FIPS 197/180-4/202); iterator rewrites
+// would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
 //! Benchmark circuit generators for the DAC'19 reproduction.
 //!
 //! This crate builds, from scratch, XAG versions of every circuit the

@@ -81,10 +81,22 @@ pub fn mpc_suite(include_heavy: bool) -> Vec<MpcBenchmark> {
     push("32-bit Adder", adder(32), false);
     push("64-bit Adder", adder(64), false);
     push("32x32-bit Multiplier", mult_trunc(32), true);
-    push("Comp. 32-bit Signed LTEQ", comparator(32, true, true), false);
+    push(
+        "Comp. 32-bit Signed LTEQ",
+        comparator(32, true, true),
+        false,
+    );
     push("Comp. 32-bit Signed LT", comparator(32, true, false), false);
-    push("Comp. 32-bit Unsigned LTEQ", comparator(32, false, true), false);
-    push("Comp. 32-bit Unsigned LT", comparator(32, false, false), false);
+    push(
+        "Comp. 32-bit Unsigned LTEQ",
+        comparator(32, false, true),
+        false,
+    );
+    push(
+        "Comp. 32-bit Unsigned LT",
+        comparator(32, false, false),
+        false,
+    );
     out
 }
 

@@ -1,8 +1,26 @@
 //! Cut rewriting to minimize multiplicative complexity — the DAC'19
-//! contribution.
+//! contribution — organized as a pass-based optimization pipeline.
 //!
-//! The optimizer implements the paper's Algorithm 1 on top of the
-//! supporting crates:
+//! The building blocks:
+//!
+//! * [`OptContext`] — the shared state every pass reads and grows: the
+//!   affine classifier ([`xag_affine`]), the synthesis engine
+//!   ([`xag_synth`]), and the on-demand representative database (the
+//!   paper's `XAG_DB`). One context amortizes across passes *and*
+//!   networks.
+//! * [`Pass`] — one step of a flow: [`McRewrite`] (the paper's
+//!   Algorithm 1), [`SizeRewrite`] (the unit-cost ABC-baseline stand-in),
+//!   [`XorReduce`] (Paar linear-layer compression), and [`Cleanup`]
+//!   (arena compaction).
+//! * [`Pipeline`] — ABC-script-style flow construction
+//!   ([`Pipeline::paper_flow`], [`Pipeline::compress`], or pass by pass
+//!   with [`Pipeline::add`]) with until-convergence repetition and
+//!   per-pass statistics.
+//! * [`McOptimizer`] — a thin facade running [`Pipeline::paper_flow`]
+//!   with one call, for the common case.
+//!
+//! One [`McRewrite`] round implements the paper's Algorithm 1 on top of
+//! the supporting crates:
 //!
 //! 1. enumerate 6-feasible cuts of every gate ([`xag_cuts`]);
 //! 2. compute each cut's function as a truth table;
@@ -16,15 +34,13 @@
 //! 6. accept the replacement when it strictly decreases the number of AND
 //!    gates, taking structural sharing into account (MFFC dereferencing for
 //!    the removed logic, hash-aware dry-run for the added logic);
-//! 7. iterate over all nodes, and optionally until convergence.
-//!
-//! A generic *size* optimizer (unit cost for AND and XOR, standing in for
-//! the ABC baseline of the paper's Table 1) shares the same machinery with
-//! a different gain function.
+//! 7. iterate over all nodes, and — under [`Pipeline::run`] — until
+//!    convergence.
 //!
 //! # Examples
 //!
-//! Optimize the textbook full adder to a single AND gate (paper Fig. 1/2):
+//! Optimize the textbook full adder to a single AND gate (paper Fig. 1/2)
+//! through the facade:
 //!
 //! ```
 //! use xag_mc::McOptimizer;
@@ -47,21 +63,49 @@
 //! opt.run_to_convergence(&mut xag);
 //! assert_eq!(xag.num_ands(), 1);
 //! ```
+//!
+//! The same run as an explicit pipeline, keeping the per-pass breakdown
+//! (see [`Pipeline`] for flow construction):
+//!
+//! ```
+//! # use xag_mc::{OptContext, Pipeline};
+//! # use xag_network::Xag;
+//! # let mut xag = Xag::new();
+//! # let (a, b, cin) = (xag.input(), xag.input(), xag.input());
+//! # let ab = xag.and(a, b);
+//! # let ac = xag.and(a, cin);
+//! # let bc = xag.and(b, cin);
+//! # let t = xag.xor(ab, ac);
+//! # let cout = xag.xor(t, bc);
+//! # let axb = xag.xor(a, b);
+//! # let sum = xag.xor(axb, cin);
+//! # xag.output(sum);
+//! # xag.output(cout);
+//! let mut ctx = OptContext::new();
+//! let stats = Pipeline::paper_flow().run(&mut xag, &mut ctx);
+//! assert_eq!(xag.num_ands(), 1);
+//! for pass in stats.per_pass() {
+//!     println!("{}: {} runs, {} ANDs saved", pass.name, pass.runs, pass.ands_saved);
+//! }
+//! ```
 
-use std::collections::HashMap;
-use std::time::Instant;
-
-use xag_affine::{AffineClassifier, ClassifyConfig};
-use xag_cuts::{enumerate_cuts, CutParams};
-use xag_network::{Signal, Xag, XagFragment};
-use xag_synth::{SynthConfig, Synthesizer};
+use xag_affine::ClassifyConfig;
+use xag_cuts::CutParams;
+use xag_network::{Xag, XagFragment};
+use xag_synth::SynthConfig;
 use xag_tt::Tt;
 
+mod context;
 mod cost;
+mod pass;
+mod pipeline;
 mod stats;
 mod xor_reduce;
 
+pub use context::OptContext;
 pub use cost::{protocol_costs, ProtocolCosts};
+pub use pass::{Cleanup, McRewrite, Pass, PassStats, SizeRewrite, XorReduce};
+pub use pipeline::{PassSummary, Pipeline, PipelineStats};
 pub use stats::{RewriteStats, RoundStats};
 pub use xor_reduce::reduce_xors;
 
@@ -114,18 +158,18 @@ impl RewriteParams {
     }
 }
 
-/// The cut-rewriting optimizer, owning the affine classifier, the on-demand
-/// representative database, and the synthesis engine.
+/// The one-call facade over the pass pipeline: owns an [`OptContext`] and
+/// runs the flow [`Pipeline::from_params`] builds for its parameters.
 ///
-/// Keeping one optimizer alive across many networks amortizes the database:
-/// representatives synthesized for one benchmark are reused by the next.
+/// Keeping one optimizer alive across many networks amortizes the
+/// database: representatives synthesized for one benchmark are reused by
+/// the next. For custom flows, per-pass statistics, or sharing the
+/// context with other passes, use [`Pipeline`] and [`OptContext`]
+/// directly.
 #[derive(Debug, Default)]
 pub struct McOptimizer {
     params: RewriteParams,
-    classifier: AffineClassifier,
-    synth: Synthesizer,
-    /// The `XAG_DB` of the paper: representative truth table → circuit.
-    db: HashMap<Tt, XagFragment>,
+    ctx: OptContext,
 }
 
 impl McOptimizer {
@@ -138,185 +182,58 @@ impl McOptimizer {
     pub fn with_params(params: RewriteParams) -> Self {
         Self {
             params,
-            classifier: AffineClassifier::with_config(params.classify_config),
-            synth: Synthesizer::with_config(params.synth_config),
-            db: HashMap::new(),
+            ctx: OptContext::with_config(params.classify_config, params.synth_config),
         }
     }
 
     /// Number of distinct representatives currently in the database.
     pub fn db_size(&self) -> usize {
-        self.db.len()
+        self.ctx.db_size()
+    }
+
+    /// The shared optimization context, e.g. to hand to a [`Pipeline`] so
+    /// that facade runs and custom flows share one database.
+    pub fn context_mut(&mut self) -> &mut OptContext {
+        &mut self.ctx
     }
 
     /// Runs one rewriting round over all gates (the paper's "One round"
     /// columns) and returns its statistics.
     pub fn run_once(&mut self, xag: &mut Xag) -> RoundStats {
-        self.run_once_with_cut_size(xag, self.params.cut_params.cut_size)
+        pass::rewrite_round(
+            xag,
+            &mut self.ctx,
+            &self.params.cut_params,
+            self.params.objective,
+            "facade",
+        )
+        .into()
     }
 
-    fn run_once_with_cut_size(&mut self, xag: &mut Xag, cut_size: usize) -> RoundStats {
-        let start = Instant::now();
-        let ands_before = xag.num_ands();
-        let xors_before = xag.num_xors();
-        let mut applied = 0usize;
-        let mut considered = 0usize;
-
-        let cut_params = CutParams {
-            cut_size,
-            ..self.params.cut_params
-        };
-        let sets = enumerate_cuts(xag, &cut_params);
-        let order = xag.live_gates();
-        for root in order {
-            if xag.is_dead(root) {
-                continue;
-            }
-            // Find the best replacement among this node's cuts.
-            let mut best: Option<(i64, XagFragment, Vec<Signal>)> = None;
-            for cut in sets.of(root) {
-                if cut.size() < 2 {
-                    continue; // trivial and single-leaf cuts
-                }
-                // Leaves may have died since enumeration; re-derive the cut
-                // function on the current network (None = no longer a cut).
-                if cut.leaves().iter().any(|&l| xag.is_dead(l)) {
-                    continue;
-                }
-                let Some(tt) = xag.cone_tt(root, cut.leaves()) else {
-                    continue;
-                };
-                if tt.is_constant() {
-                    continue;
-                }
-                considered += 1;
-                let candidate = self.candidate_for_cut(tt);
-                let leaves: Vec<Signal> = cut
-                    .leaves()
-                    .iter()
-                    .map(|&l| Signal::new(l, false))
-                    .collect();
-                let (freed_ands, freed_total) = xag.deref_cone(root, cut.leaves());
-                let (added_ands, added_total) = candidate.count_new_gates(xag, &leaves);
-                xag.ref_cone(root, cut.leaves());
-                let gain = match self.params.objective {
-                    Objective::MultiplicativeComplexity => {
-                        freed_ands as i64 - added_ands as i64
-                    }
-                    Objective::Size => freed_total as i64 - added_total as i64,
-                };
-                if gain > 0 && best.as_ref().map(|(g, _, _)| gain > *g).unwrap_or(true) {
-                    best = Some((gain, candidate, leaves));
-                }
-            }
-            if let Some((_, candidate, leaves)) = best {
-                let new_sig = candidate.instantiate(xag, &leaves);
-                if new_sig.node() != root && !xag.is_in_tfi(root, new_sig) {
-                    xag.substitute(root, new_sig);
-                    applied += 1;
-                }
-            }
-        }
-
-        RoundStats {
-            ands_before,
-            xors_before,
-            ands_after: xag.num_ands(),
-            xors_after: xag.num_xors(),
-            rewrites_applied: applied,
-            cuts_considered: considered,
-            elapsed: start.elapsed(),
-        }
-    }
-
-    /// Repeats [`McOptimizer::run_once`] until the objective stops
-    /// improving (the paper's "Repeat until convergence" columns) or
-    /// `max_rounds` is reached.
-    ///
-    /// Rounds alternate between 4-feasible cuts and the configured cut
-    /// size, smaller first: for functions of up to four inputs the
-    /// database is provably MC-optimal (affine + symplectic + exact
-    /// MC ≤ 2 search + the three-AND worst case), so small-cut rounds
-    /// establish locally optimal structures that heuristic 5-/6-input
-    /// database entries would otherwise destroy, and wide-cut rounds then
-    /// only fire on genuine cross-boundary gains. This compensates for
-    /// substituting the paper's exact NIST database with on-demand
-    /// synthesis (DESIGN.md §3).
+    /// Repeats rewriting rounds until the objective stops improving (the
+    /// paper's "Repeat until convergence" columns) or
+    /// [`RewriteParams::max_rounds`] is reached, by running the
+    /// [`Pipeline::from_params`] flow — 4-feasible cuts alternated with
+    /// the configured cut size, smaller first (see
+    /// [`Pipeline::paper_flow`] for why).
     pub fn run_to_convergence(&mut self, xag: &mut Xag) -> RewriteStats {
-        let big = self.params.cut_params.cut_size;
-        let schedule: &[usize] = if big > 4 { &[4, 0] } else { &[0] };
-        let mut rounds = Vec::new();
-        let mut converged = false;
-        let mut phase = 0usize;
-        let mut stale_phases = 0usize;
-        while rounds.len() < self.params.max_rounds {
-            let size = if schedule[phase % schedule.len()] == 0 {
-                big
-            } else {
-                schedule[phase % schedule.len()]
-            };
-            let stats = self.run_once_with_cut_size(xag, size);
-            let improved = match self.params.objective {
-                Objective::MultiplicativeComplexity => stats.ands_after < stats.ands_before,
-                Objective::Size => {
-                    stats.ands_after + stats.xors_after < stats.ands_before + stats.xors_before
-                }
-            };
-            rounds.push(stats);
-            if improved {
-                stale_phases = 0;
-            } else {
-                stale_phases += 1;
-                phase += 1;
-                if stale_phases >= schedule.len() {
-                    converged = true;
-                    break;
-                }
-            }
-        }
-        RewriteStats { rounds, converged }
+        Pipeline::from_params(&self.params)
+            .run(xag, &mut self.ctx)
+            .into_rewrite_stats()
     }
 
     /// Algorithm 1 of the paper: build the replacement circuit for a cut
     /// function — classify, look the representative up in the database
     /// (synthesizing on a miss), then replay the affine operations.
     pub fn candidate_for_cut(&mut self, tt: Tt) -> XagFragment {
-        // Reduce to the support first: classification and the database work
-        // on the compacted function.
-        let (g, map) = tt.shrink_to_support();
-        if g.vars() != tt.vars() {
-            let inner = self.candidate_for_cut_reduced(g);
-            let lifted = inner.with_inputs(tt.vars(), &map);
-            debug_assert_eq!(lifted.eval_tt(), tt);
-            return lifted;
-        }
-        let frag = self.candidate_for_cut_reduced(tt);
-        debug_assert_eq!(frag.eval_tt(), tt);
-        frag
-    }
-
-    fn candidate_for_cut_reduced(&mut self, tt: Tt) -> XagFragment {
-        if tt.is_constant() || tt.vars() == 0 {
-            return XagFragment::constant(tt.vars(), tt.is_one());
-        }
-        let classification = self.classifier.classify(tt);
-        let rep = classification.representative;
-        let rep_frag = match self.db.get(&rep) {
-            Some(frag) => frag.clone(),
-            None => {
-                let frag = self.synth.synthesize(rep);
-                self.db.insert(rep, frag.clone());
-                frag
-            }
-        };
-        rep_frag.undo_affine_ops(&classification.ops)
+        self.ctx.candidate_for_cut(tt)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xag_network::equiv_exhaustive;
+    use xag_network::{equiv_exhaustive, Signal};
 
     fn textbook_full_adder() -> Xag {
         let mut xag = Xag::new();
@@ -371,6 +288,20 @@ mod tests {
     }
 
     #[test]
+    fn facade_and_pipeline_share_a_database() {
+        let mut opt = McOptimizer::new();
+        let mut xag = textbook_full_adder();
+        opt.run_to_convergence(&mut xag);
+        let db_after_facade = opt.db_size();
+        assert!(db_after_facade > 0);
+        // A pipeline run over the facade's context reuses its entries.
+        let mut again = textbook_full_adder();
+        Pipeline::paper_flow().run(&mut again, opt.context_mut());
+        assert_eq!(again.num_ands(), 1);
+        assert_eq!(opt.db_size(), db_after_facade);
+    }
+
+    #[test]
     fn size_baseline_reduces_total_gates() {
         // A deliberately redundant network.
         let mut xag = Xag::new();
@@ -399,7 +330,11 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let a = pool[(state >> 13) as usize % pool.len()] ^ (state & 1 == 1);
             let b = pool[(state >> 29) as usize % pool.len()] ^ (state & 2 == 2);
-            let s = if k % 3 == 0 { xag.xor(a, b) } else { xag.and(a, b) };
+            let s = if k % 3 == 0 {
+                xag.xor(a, b)
+            } else {
+                xag.and(a, b)
+            };
             pool.push(s);
         }
         for s in pool.iter().rev().take(4) {
@@ -412,5 +347,25 @@ mod tests {
         assert!(xag.num_ands() <= before);
         assert!(equiv_exhaustive(&reference, &xag.cleanup()));
         assert!(!stats.rounds.is_empty());
+    }
+
+    #[test]
+    fn converged_run_once_does_not_grow_the_arena() {
+        // Regression test for the rejected-candidate leak: on a converged
+        // network every instantiated candidate is rejected (or none is
+        // instantiated at all), so repeated rounds must not allocate.
+        let mut xag = textbook_full_adder();
+        let mut opt = McOptimizer::new();
+        opt.run_to_convergence(&mut xag);
+        let capacity = xag.capacity();
+        for _ in 0..3 {
+            let stats = opt.run_once(&mut xag);
+            assert_eq!(stats.rewrites_applied, 0);
+        }
+        assert_eq!(
+            xag.capacity(),
+            capacity,
+            "rejected candidates leaked into the arena"
+        );
     }
 }

@@ -1,0 +1,351 @@
+//! Composable optimization flows, ABC-script style.
+//!
+//! A [`Pipeline`] is an ordered list of [`Pass`]es plus a convergence
+//! policy. It can run the passes once, in order ([`Pipeline::run_once`]),
+//! or repeat them until the objective stops improving ([`Pipeline::run`]),
+//! which subsumes the cut-size alternation schedule the optimizer used
+//! before the pass refactor.
+//!
+//! # Examples
+//!
+//! The paper's flow, driving the textbook full adder to its known
+//! multiplicative complexity of 1:
+//!
+//! ```
+//! use xag_mc::{OptContext, Pipeline};
+//! use xag_network::Xag;
+//!
+//! let mut xag = Xag::new();
+//! let (a, b, cin) = (xag.input(), xag.input(), xag.input());
+//! let ab = xag.and(a, b);
+//! let ac = xag.and(a, cin);
+//! let bc = xag.and(b, cin);
+//! let t = xag.xor(ab, ac);
+//! let cout = xag.xor(t, bc);
+//! let axb = xag.xor(a, b);
+//! let sum = xag.xor(axb, cin);
+//! xag.output(sum);
+//! xag.output(cout);
+//!
+//! let mut ctx = OptContext::new();
+//! let stats = Pipeline::paper_flow().run(&mut xag, &mut ctx);
+//! assert!(stats.converged);
+//! assert_eq!(xag.num_ands(), 1);
+//! ```
+//!
+//! A custom flow built pass by pass:
+//!
+//! ```
+//! use xag_mc::{Cleanup, McRewrite, OptContext, Pipeline, XorReduce};
+//! # use xag_network::Xag;
+//! # let mut xag = Xag::new();
+//! # let a = xag.input();
+//! # let b = xag.input();
+//! # let g = xag.and(a, b);
+//! # xag.output(g);
+//! let flow = Pipeline::new()
+//!     .add(McRewrite::new())
+//!     .add(XorReduce::new())
+//!     .add(Cleanup::new());
+//! let mut ctx = OptContext::new();
+//! let stats = flow.run_once(&mut xag, &mut ctx);
+//! assert_eq!(stats.passes.len(), 3);
+//! ```
+
+use std::time::Duration;
+
+use xag_cuts::CutParams;
+use xag_network::Xag;
+
+use crate::context::OptContext;
+use crate::pass::{McRewrite, Pass, PassStats, SizeRewrite, XorReduce};
+use crate::stats::{RewriteStats, RoundStats};
+use crate::{Objective, RewriteParams};
+
+/// An ordered list of passes with a convergence policy.
+///
+/// See the [module documentation](self) for examples.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+    metric: Objective,
+    max_rounds: usize,
+}
+
+impl core::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("passes", &self.pass_names())
+            .field("metric", &self.metric)
+            .field("max_rounds", &self.max_rounds)
+            .finish()
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline minimizing multiplicative complexity, capped at
+    /// 100 rounds (the paper observed convergence within 58 on all
+    /// benchmarks).
+    pub fn new() -> Self {
+        Self {
+            passes: Vec::new(),
+            metric: Objective::MultiplicativeComplexity,
+            max_rounds: 100,
+        }
+    }
+
+    /// Appends a pass.
+    #[allow(clippy::should_implement_trait)] // builder step, not arithmetic
+    pub fn add(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends an already boxed pass (useful when building flows
+    /// dynamically).
+    pub fn add_boxed(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Sets the objective [`Pipeline::run`] measures convergence against.
+    pub fn metric(mut self, metric: Objective) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Caps the total number of pass executions in [`Pipeline::run`].
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Number of passes in the flow.
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// The pass names, in flow order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// The paper's until-convergence flow: 4-feasible-cut rewriting
+    /// alternated with 6-feasible-cut rewriting, smaller cuts first.
+    ///
+    /// For functions of up to four inputs the database is provably
+    /// MC-optimal (affine + symplectic + exact MC ≤ 2 search + the
+    /// three-AND worst case), so small-cut rounds establish locally
+    /// optimal structures that heuristic 5-/6-input database entries
+    /// would otherwise destroy, and wide-cut rounds then only fire on
+    /// genuine cross-boundary gains. This compensates for substituting
+    /// the paper's exact NIST database with on-demand synthesis
+    /// (DESIGN.md §3).
+    pub fn paper_flow() -> Self {
+        Self::from_params(&RewriteParams::default())
+    }
+
+    /// A generic compression flow: unit-cost size rewriting (4-cut, then
+    /// 6-cut) followed by XOR reduction, measured on total gate count —
+    /// the stand-in for the ABC script the paper uses to produce its
+    /// "Initial" networks.
+    pub fn compress() -> Self {
+        Self::new()
+            .metric(Objective::Size)
+            .add(SizeRewrite::with_cut_size(4))
+            .add(SizeRewrite::new())
+            .add(XorReduce::new())
+    }
+
+    /// Builds the flow [`crate::McOptimizer`] runs for the given
+    /// parameters: the cut-size schedule of [`Pipeline::paper_flow`] under
+    /// `params.objective`, honoring `params.cut_params` and
+    /// `params.max_rounds`.
+    pub fn from_params(params: &RewriteParams) -> Self {
+        let big = params.cut_params.cut_size;
+        let sizes: &[usize] = if big > 4 { &[4, big] } else { &[big] };
+        let mut flow = Self::new()
+            .metric(params.objective)
+            .max_rounds(params.max_rounds);
+        for &size in sizes {
+            let cut_params = CutParams {
+                cut_size: size,
+                ..params.cut_params
+            };
+            flow = match params.objective {
+                Objective::MultiplicativeComplexity => flow.add(McRewrite::with_params(cut_params)),
+                Objective::Size => flow.add(SizeRewrite::with_params(cut_params)),
+            };
+        }
+        flow
+    }
+
+    /// Runs every pass exactly once, in order.
+    pub fn run_once(&self, xag: &mut Xag, ctx: &mut OptContext) -> PipelineStats {
+        let passes = self.passes.iter().map(|pass| pass.run(xag, ctx)).collect();
+        PipelineStats {
+            passes,
+            converged: false,
+        }
+    }
+
+    /// Repeats the flow until convergence: the current pass runs again
+    /// while it improves the metric; once stale, the flow advances to the
+    /// next pass (cyclically); once *every* pass in sequence is stale, the
+    /// flow has converged. Capped at [`Pipeline::max_rounds`] total pass
+    /// executions.
+    ///
+    /// With the [`Pipeline::paper_flow`] passes this is exactly the
+    /// paper's "repeat until convergence" loop with the small-cut-first
+    /// schedule.
+    pub fn run(&self, xag: &mut Xag, ctx: &mut OptContext) -> PipelineStats {
+        assert!(!self.passes.is_empty(), "cannot run an empty pipeline");
+        let mut executed: Vec<PassStats> = Vec::new();
+        let mut converged = false;
+        let mut phase = 0usize;
+        let mut stale = 0usize;
+        while executed.len() < self.max_rounds {
+            let pass = &self.passes[phase % self.passes.len()];
+            let stats = pass.run(xag, ctx);
+            let improved = stats.improved(self.metric);
+            executed.push(stats);
+            if improved {
+                stale = 0;
+            } else {
+                stale += 1;
+                phase += 1;
+                if stale >= self.passes.len() {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        PipelineStats {
+            passes: executed,
+            converged,
+        }
+    }
+}
+
+/// Statistics of a pipeline run: every executed pass, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-execution statistics, in execution order.
+    pub passes: Vec<PassStats>,
+    /// True iff [`Pipeline::run`] stopped because no pass improved the
+    /// metric anymore (as opposed to hitting the round cap; always false
+    /// for [`Pipeline::run_once`]).
+    pub converged: bool,
+}
+
+impl PipelineStats {
+    /// Number of pass executions.
+    pub fn num_rounds(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// AND count before the first pass.
+    pub fn ands_before(&self) -> usize {
+        self.passes.first().map(|r| r.ands_before).unwrap_or(0)
+    }
+
+    /// AND count after the last pass.
+    pub fn ands_after(&self) -> usize {
+        self.passes.last().map(|r| r.ands_after).unwrap_or(0)
+    }
+
+    /// Total wall-clock time across passes.
+    pub fn total_time(&self) -> Duration {
+        self.passes.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Overall AND improvement, in percent (negative if a flow traded
+    /// ANDs up, which Size-objective flows may).
+    pub fn improvement_pct(&self) -> f64 {
+        let before = self.ands_before();
+        if before == 0 {
+            0.0
+        } else {
+            100.0 * (before as f64 - self.ands_after() as f64) / before as f64
+        }
+    }
+
+    /// Accumulates the statistics per pass name, in first-execution order
+    /// — the per-pass breakdown of a flow.
+    pub fn per_pass(&self) -> Vec<PassSummary> {
+        let mut order: Vec<PassSummary> = Vec::new();
+        for s in &self.passes {
+            let entry = match order.iter_mut().find(|e| e.name == s.pass) {
+                Some(entry) => entry,
+                None => {
+                    order.push(PassSummary {
+                        name: s.pass.clone(),
+                        runs: 0,
+                        ands_saved: 0,
+                        xors_saved: 0,
+                        rewrites_applied: 0,
+                        cuts_considered: 0,
+                        elapsed: Duration::ZERO,
+                    });
+                    order.last_mut().expect("just pushed")
+                }
+            };
+            entry.runs += 1;
+            entry.ands_saved += s.ands_before as i64 - s.ands_after as i64;
+            entry.xors_saved += s.xors_before as i64 - s.xors_after as i64;
+            entry.rewrites_applied += s.rewrites_applied;
+            entry.cuts_considered += s.cuts_considered;
+            entry.elapsed += s.elapsed;
+        }
+        order
+    }
+
+    /// Converts into the facade's [`RewriteStats`] (pass names are
+    /// dropped; each execution becomes one round).
+    pub fn into_rewrite_stats(self) -> RewriteStats {
+        RewriteStats {
+            rounds: self.passes.into_iter().map(RoundStats::from).collect(),
+            converged: self.converged,
+        }
+    }
+}
+
+impl core::fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} rounds, AND {} → {} ({:.1}% improvement), {:.2}s{}",
+            self.num_rounds(),
+            self.ands_before(),
+            self.ands_after(),
+            self.improvement_pct(),
+            self.total_time().as_secs_f64(),
+            if self.converged { "" } else { " (round limit)" }
+        )
+    }
+}
+
+/// Accumulated statistics of all executions of one pass in a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSummary {
+    /// The pass name.
+    pub name: String,
+    /// How many times the pass executed.
+    pub runs: usize,
+    /// Net AND gates removed across all executions (negative if the pass
+    /// added ANDs).
+    pub ands_saved: i64,
+    /// Net XOR gates removed across all executions.
+    pub xors_saved: i64,
+    /// Total applied changes.
+    pub rewrites_applied: usize,
+    /// Total cut candidates evaluated.
+    pub cuts_considered: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}

@@ -20,12 +20,13 @@ pub struct RoundStats {
 }
 
 impl RoundStats {
-    /// Relative AND improvement of this round, in percent.
+    /// Relative AND improvement of this round, in percent (negative if
+    /// the round traded ANDs up, which Size-objective rounds may).
     pub fn improvement_pct(&self) -> f64 {
         if self.ands_before == 0 {
             0.0
         } else {
-            100.0 * (self.ands_before - self.ands_after) as f64 / self.ands_before as f64
+            100.0 * (self.ands_before as f64 - self.ands_after as f64) / self.ands_before as f64
         }
     }
 }
@@ -83,7 +84,7 @@ impl RewriteStats {
         if before == 0 {
             0.0
         } else {
-            100.0 * (before - self.ands_after()) as f64 / before as f64
+            100.0 * (before as f64 - self.ands_after() as f64) / before as f64
         }
     }
 }
@@ -131,6 +132,20 @@ mod tests {
         assert_eq!(s.ands_after(), 50);
         assert!((s.improvement_pct() - 50.0).abs() < 1e-9);
         assert_eq!(s.num_rounds(), 2);
+    }
+
+    #[test]
+    fn negative_improvement_does_not_underflow() {
+        // Size-objective rounds may trade ANDs up; formatting the stats
+        // must yield a negative percentage, not an underflow panic.
+        let r = round(5, 8);
+        assert!((r.improvement_pct() + 60.0).abs() < 1e-9);
+        let s = RewriteStats {
+            rounds: vec![round(5, 8)],
+            converged: true,
+        };
+        assert!(s.improvement_pct() < 0.0);
+        assert!(format!("{s}").contains("-60.0%"));
     }
 
     #[test]

@@ -134,18 +134,20 @@ pub fn reduce_xors(xag: &Xag) -> Xag {
     let mut rebuilt: HashMap<NodeId, Signal> = HashMap::new();
 
     let mut pending: Vec<NodeId> = Vec::new();
-    let flush =
-        |out: &mut Xag, map: &HashMap<NodeId, Signal>, rebuilt: &mut HashMap<NodeId, Signal>, pending: &mut Vec<NodeId>| {
-            if pending.is_empty() {
-                return;
-            }
-            let block: Vec<NodeId> = pending.drain(..).collect();
-            let block_forms: Vec<&LinearForm> = block.iter().map(|n| &forms[n]).collect();
-            let signals = paar_block(out, map, &block_forms);
-            for (n, s) in block.iter().zip(signals) {
-                rebuilt.insert(*n, s);
-            }
-        };
+    let flush = |out: &mut Xag,
+                 map: &HashMap<NodeId, Signal>,
+                 rebuilt: &mut HashMap<NodeId, Signal>,
+                 pending: &mut Vec<NodeId>| {
+        if pending.is_empty() {
+            return;
+        }
+        let block: Vec<NodeId> = std::mem::take(pending);
+        let block_forms: Vec<&LinearForm> = block.iter().map(|n| &forms[n]).collect();
+        let signals = paar_block(out, map, &block_forms);
+        for (n, s) in block.iter().zip(signals) {
+            rebuilt.insert(*n, s);
+        }
+    };
 
     let mut target_idx = 0usize;
     for &n in &order {
@@ -156,13 +158,12 @@ pub fn reduce_xors(xag: &Xag) -> Xag {
             NodeKind::And => {
                 let (f0, f1) = xag.fanins(n);
                 // Ensure pending targets this AND consumes are flushed.
-                if [f0, f1]
-                    .iter()
-                    .any(|f| pending.contains(&f.node()))
-                {
+                if [f0, f1].iter().any(|f| pending.contains(&f.node())) {
                     flush(&mut out, &map, &mut rebuilt, &mut pending);
                 }
-                let resolve = |f: Signal, map: &HashMap<NodeId, Signal>, rebuilt: &HashMap<NodeId, Signal>| {
+                let resolve = |f: Signal,
+                               map: &HashMap<NodeId, Signal>,
+                               rebuilt: &HashMap<NodeId, Signal>| {
                     let base = rebuilt
                         .get(&f.node())
                         .or_else(|| map.get(&f.node()))
@@ -228,11 +229,7 @@ pub fn reduce_xors(xag: &Xag) -> Xag {
 
 /// Synthesizes a block of linear forms with Paar's greedy pair extraction.
 /// Returns one signal per form, in order.
-fn paar_block(
-    out: &mut Xag,
-    map: &HashMap<NodeId, Signal>,
-    block: &[&LinearForm],
-) -> Vec<Signal> {
+fn paar_block(out: &mut Xag, map: &HashMap<NodeId, Signal>, block: &[&LinearForm]) -> Vec<Signal> {
     // Column universe.
     let mut col_of: HashMap<NodeId, usize> = HashMap::new();
     let mut cols: Vec<Signal> = Vec::new();
@@ -262,7 +259,7 @@ fn paar_block(
     loop {
         let ncols = cols.len();
         let mut best: Option<(usize, usize, usize)> = None; // (count, i, j)
-        // Count pairs via per-row set-bit scans (rows are sparse).
+                                                            // Count pairs via per-row set-bit scans (rows are sparse).
         let mut pair_counts: HashMap<(usize, usize), usize> = HashMap::new();
         for row in &rows {
             let set: Vec<usize> = (0..ncols)

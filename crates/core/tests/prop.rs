@@ -1,15 +1,45 @@
-//! The single most important property of the whole system: rewriting never
-//! changes network functionality and never increases the objective.
+//! The single most important property of the whole system: no composed
+//! flow ever changes network functionality or increases its objective.
+//!
+//! Randomized with a fixed-seed deterministic generator (no external
+//! property-testing dependency); every case is reproducible from its seed.
 
-use proptest::prelude::*;
-use xag_mc::{reduce_xors, McOptimizer, Objective, RewriteParams};
+use mc_rng::Rng;
+use xag_mc::{
+    reduce_xors, Cleanup, McOptimizer, McRewrite, Objective, OptContext, Pipeline, RewriteParams,
+    SizeRewrite, XorReduce,
+};
 use xag_network::{equiv_exhaustive, Signal, Xag};
+
+type FlowFactory = fn() -> Pipeline;
 
 #[derive(Debug, Clone)]
 struct Recipe {
     inputs: usize,
     and_bias: bool,
     steps: Vec<(u8, usize, bool, usize, bool)>,
+}
+
+fn arb_recipe(rng: &mut Rng) -> Recipe {
+    let inputs = rng.gen_range(3..9);
+    let and_bias = rng.gen();
+    let gates = rng.gen_range(5..60);
+    let steps = (0..gates)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as usize,
+                rng.gen(),
+                rng.next_u64() as usize,
+                rng.gen(),
+            )
+        })
+        .collect();
+    Recipe {
+        inputs,
+        and_bias,
+        steps,
+    }
 }
 
 fn build(recipe: &Recipe) -> Xag {
@@ -37,54 +67,60 @@ fn build(recipe: &Recipe) -> Xag {
     x
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (3usize..=8, any::<bool>(), 5usize..60).prop_flat_map(|(inputs, and_bias, gates)| {
-        proptest::collection::vec(
-            (any::<u8>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
-            gates,
-        )
-        .prop_map(move |steps| Recipe {
-            inputs,
-            and_bias,
-            steps,
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn mc_rewriting_preserves_function_and_reduces_ands(recipe in arb_recipe()) {
+#[test]
+fn mc_rewriting_preserves_function_and_reduces_ands() {
+    let mut rng = Rng::seed_from_u64(0xDAC1_9001);
+    for case in 0..24 {
+        let recipe = arb_recipe(&mut rng);
         let mut xag = build(&recipe);
         let reference = xag.cleanup();
         let before = xag.num_ands();
         let mut opt = McOptimizer::new();
         let stats = opt.run_to_convergence(&mut xag);
-        prop_assert!(xag.num_ands() <= before, "AND count increased");
-        prop_assert!(equiv_exhaustive(&reference, &xag.cleanup()), "function changed");
-        prop_assert!(stats.num_rounds() >= 1);
+        assert!(xag.num_ands() <= before, "case {case}: AND count increased");
+        assert!(
+            equiv_exhaustive(&reference, &xag.cleanup()),
+            "case {case}: function changed"
+        );
+        assert!(stats.num_rounds() >= 1);
         // A converged network gains nothing from another round.
         if stats.converged {
             let again = opt.run_once(&mut xag);
-            prop_assert_eq!(again.ands_after, again.ands_before);
+            assert_eq!(again.ands_after, again.ands_before, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn xor_reduction_preserves_function_and_ands(recipe in arb_recipe()) {
+#[test]
+fn xor_reduction_preserves_function_and_ands() {
+    let mut rng = Rng::seed_from_u64(0xDAC1_9002);
+    for case in 0..24 {
+        let recipe = arb_recipe(&mut rng);
         let mut xag = build(&recipe);
         // Inflate XORs the way rewriting does, then reduce.
         let mut opt = McOptimizer::new();
         opt.run_once(&mut xag);
         let reduced = reduce_xors(&xag);
-        prop_assert!(reduced.num_xors() <= xag.cleanup().num_xors());
-        prop_assert!(reduced.num_ands() <= xag.cleanup().num_ands());
-        prop_assert!(equiv_exhaustive(&xag.cleanup(), &reduced), "function changed");
+        assert!(
+            reduced.num_xors() <= xag.cleanup().num_xors(),
+            "case {case}"
+        );
+        assert!(
+            reduced.num_ands() <= xag.cleanup().num_ands(),
+            "case {case}"
+        );
+        assert!(
+            equiv_exhaustive(&xag.cleanup(), &reduced),
+            "case {case}: function changed"
+        );
     }
+}
 
-    #[test]
-    fn size_rewriting_preserves_function_and_reduces_size(recipe in arb_recipe()) {
+#[test]
+fn size_rewriting_preserves_function_and_reduces_size() {
+    let mut rng = Rng::seed_from_u64(0xDAC1_9003);
+    for case in 0..24 {
+        let recipe = arb_recipe(&mut rng);
         let mut xag = build(&recipe);
         let reference = xag.cleanup();
         let before = xag.num_gates();
@@ -93,7 +129,88 @@ proptest! {
             ..RewriteParams::default()
         });
         opt.run_to_convergence(&mut xag);
-        prop_assert!(xag.num_gates() <= before, "gate count increased");
-        prop_assert!(equiv_exhaustive(&reference, &xag.cleanup()), "function changed");
+        assert!(
+            xag.num_gates() <= before,
+            "case {case}: gate count increased"
+        );
+        assert!(
+            equiv_exhaustive(&reference, &xag.cleanup()),
+            "case {case}: function changed"
+        );
+    }
+}
+
+#[test]
+fn composed_pipelines_preserve_function() {
+    // Every flow in this catalogue — whatever the pass order — must keep
+    // the network equivalent and never raise the AND count.
+    let flows: Vec<(&str, FlowFactory)> = vec![
+        ("paper_flow", Pipeline::paper_flow),
+        ("compress", Pipeline::compress),
+        ("mc+xor+cleanup", || {
+            Pipeline::new()
+                .add(McRewrite::new())
+                .add(XorReduce::new())
+                .add(Cleanup::new())
+        }),
+        ("xor-first", || {
+            Pipeline::new()
+                .add(XorReduce::new())
+                .add(McRewrite::with_cut_size(4))
+                .add(McRewrite::new())
+        }),
+        ("size-then-mc", || {
+            Pipeline::new()
+                .add(SizeRewrite::new())
+                .add(McRewrite::new())
+                .add(Cleanup::new())
+        }),
+    ];
+    let mut rng = Rng::seed_from_u64(0xDAC1_9004);
+    let mut ctx = OptContext::new();
+    for case in 0..10 {
+        let recipe = arb_recipe(&mut rng);
+        for (name, make) in &flows {
+            let mut xag = build(&recipe);
+            let reference = xag.cleanup();
+            let before = xag.num_ands();
+            let stats = make().run(&mut xag, &mut ctx);
+            assert!(
+                xag.num_ands() <= before,
+                "case {case}, flow {name}: AND count increased"
+            );
+            assert!(
+                equiv_exhaustive(&reference, &xag.cleanup()),
+                "case {case}, flow {name}: function changed"
+            );
+            assert!(!stats.passes.is_empty());
+        }
+    }
+}
+
+#[test]
+fn rejected_candidates_never_leak_arena_nodes() {
+    // Once a flow has converged, further rounds apply nothing — and must
+    // also allocate nothing: instantiated-then-rejected candidates are
+    // reclaimed from the arena (the watermark cleanup in the rewrite
+    // round).
+    let mut rng = Rng::seed_from_u64(0xDAC1_9005);
+    for case in 0..12 {
+        let recipe = arb_recipe(&mut rng);
+        let mut xag = build(&recipe);
+        let mut opt = McOptimizer::new();
+        let stats = opt.run_to_convergence(&mut xag);
+        if !stats.converged {
+            continue;
+        }
+        let capacity = xag.capacity();
+        let again = opt.run_once(&mut xag);
+        if again.rewrites_applied == 0 {
+            assert_eq!(
+                xag.capacity(),
+                capacity,
+                "case {case}: rejected candidates leaked into the arena"
+            );
+        }
     }
 }

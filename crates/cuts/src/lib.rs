@@ -67,12 +67,12 @@ impl Cut {
 
     /// True iff `self`'s leaves are a subset of `other`'s.
     pub fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len()
-            || self.signature & !other.signature != 0
-        {
+        if self.leaves.len() > other.leaves.len() || self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 
     /// Merges two cuts (used when combining fanin cut sets).
@@ -152,9 +152,7 @@ pub fn enumerate_cuts(xag: &Xag, params: &CutParams) -> CutSets {
         for c0 in &set0 {
             for c1 in &set1 {
                 // Early size filter via signatures.
-                if (c0.signature | c1.signature).count_ones() as usize
-                    > params.cut_size + 8
-                {
+                if (c0.signature | c1.signature).count_ones() as usize > params.cut_size + 8 {
                     continue;
                 }
                 let cut = c0.merge(c1);
@@ -187,10 +185,7 @@ pub fn cut_function(xag: &Xag, root: NodeId, cut: &Cut) -> Option<Tt> {
 
 /// Convenience: enumerate cuts and pair each non-trivial cut of each gate
 /// with its function.
-pub fn enumerate_cut_functions(
-    xag: &Xag,
-    params: &CutParams,
-) -> Vec<(NodeId, Cut, Tt)> {
+pub fn enumerate_cut_functions(xag: &Xag, params: &CutParams) -> Vec<(NodeId, Cut, Tt)> {
     let sets = enumerate_cuts(xag, params);
     let mut out = Vec::new();
     for n in xag.live_gates() {

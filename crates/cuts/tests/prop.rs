@@ -1,7 +1,7 @@
-//! Property tests: every enumerated cut of a random network is a valid cut
-//! whose function matches brute-force cone evaluation.
+//! Randomized property tests: every enumerated cut of a random network is
+//! a valid cut whose function matches brute-force cone evaluation.
 
-use proptest::prelude::*;
+use mc_rng::Rng;
 use xag_cuts::{cut_function, enumerate_cuts, CutParams};
 use xag_network::{Signal, Xag};
 
@@ -9,6 +9,23 @@ use xag_network::{Signal, Xag};
 struct Recipe {
     inputs: usize,
     steps: Vec<(bool, usize, bool, usize, bool)>,
+}
+
+fn arb_recipe(rng: &mut Rng) -> Recipe {
+    let inputs = rng.gen_range(2..11);
+    let gates = rng.gen_range(1..50);
+    let steps = (0..gates)
+        .map(|_| {
+            (
+                rng.gen(),
+                rng.next_u64() as usize,
+                rng.gen(),
+                rng.next_u64() as usize,
+                rng.gen(),
+            )
+        })
+        .collect();
+    Recipe { inputs, steps }
 }
 
 fn build(recipe: &Recipe) -> Xag {
@@ -27,48 +44,45 @@ fn build(recipe: &Recipe) -> Xag {
     x
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..=10, 1usize..50).prop_flat_map(|(inputs, gates)| {
-        proptest::collection::vec(
-            (any::<bool>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
-            gates,
-        )
-        .prop_map(move |steps| Recipe { inputs, steps })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cuts_are_valid_and_functions_match(recipe in arb_recipe()) {
+#[test]
+fn cuts_are_valid_and_functions_match() {
+    let mut rng = Rng::seed_from_u64(0xC07_0001);
+    for case in 0..48 {
+        let recipe = arb_recipe(&mut rng);
         let x = build(&recipe);
         let params = CutParams::default();
         let sets = enumerate_cuts(&x, &params);
         for n in x.live_gates() {
             let cuts = sets.of(n);
-            prop_assert!(!cuts.is_empty(), "gate {n} has no cuts");
-            prop_assert!(cuts.len() <= params.cut_limit + 1);
+            assert!(!cuts.is_empty(), "case {case}: gate {n} has no cuts");
+            assert!(cuts.len() <= params.cut_limit + 1, "case {case}");
             for cut in cuts {
-                prop_assert!(cut.size() <= params.cut_size);
+                assert!(cut.size() <= params.cut_size, "case {case}");
                 let tt = cut_function(&x, n, cut);
-                prop_assert!(tt.is_some(), "invalid cut {cut:?} of {n}");
-                // Cross-check the cut function on a few assignments by
-                // simulating the whole network with leaves forced via their
-                // own cones. (Exhaustive over the cut's local space.)
+                assert!(tt.is_some(), "case {case}: invalid cut {cut:?} of {n}");
                 let tt = tt.unwrap();
-                prop_assert_eq!(tt.vars(), cut.size());
+                assert_eq!(tt.vars(), cut.size(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn smaller_cut_sizes_give_subsets(recipe in arb_recipe()) {
+#[test]
+fn smaller_cut_sizes_give_subsets() {
+    let mut rng = Rng::seed_from_u64(0xC07_0002);
+    for case in 0..48 {
+        let recipe = arb_recipe(&mut rng);
         let x = build(&recipe);
-        let small = enumerate_cuts(&x, &CutParams { cut_size: 3, cut_limit: 12 });
+        let small = enumerate_cuts(
+            &x,
+            &CutParams {
+                cut_size: 3,
+                cut_limit: 12,
+            },
+        );
         for n in x.live_gates() {
             for cut in small.of(n) {
-                prop_assert!(cut.size() <= 3);
+                assert!(cut.size() <= 3, "case {case}");
             }
         }
     }

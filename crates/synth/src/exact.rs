@@ -42,7 +42,7 @@ impl Span {
         let (t, combo) = self.reduce(t, combo);
         if t != 0 {
             self.basis.push((t, combo));
-            self.basis.sort_by(|a, b| b.0.cmp(&a.0));
+            self.basis.sort_by_key(|e| std::cmp::Reverse(e.0));
         }
     }
 
@@ -72,7 +72,13 @@ fn affine_tables(n: usize) -> Vec<u64> {
 
 /// Builds the linear-form fragment reference for a mask over
 /// `[const, x₀…x_{n-1}, g₁, g₂]`.
-fn form_ref(frag: &mut XagFragment, n: usize, mask: u32, g1: Option<FragRef>, g2: Option<FragRef>) -> FragRef {
+fn form_ref(
+    frag: &mut XagFragment,
+    n: usize,
+    mask: u32,
+    g1: Option<FragRef>,
+    g2: Option<FragRef>,
+) -> FragRef {
     let mut refs: Vec<FragRef> = Vec::new();
     for i in 0..n {
         if (mask >> (i + 1)) & 1 == 1 {
@@ -92,6 +98,7 @@ fn form_ref(frag: &mut XagFragment, n: usize, mask: u32, g1: Option<FragRef>, g2
 /// Searches for an implementation of `f` with at most two AND gates.
 /// Returns `None` if none exists (or none is found within the enumerated
 /// shape, which is exhaustive for MC ≤ 2).
+#[allow(clippy::needless_range_loop)] // w/z index arithmetic drives the skip conditions
 pub fn search_mc2(f: Tt) -> Option<XagFragment> {
     let n = f.vars();
     let tables = affine_tables(n);

@@ -82,11 +82,8 @@ pub fn synthesize(f: Tt) -> XagFragment {
 
     // Symplectic reduction: collect (L1, L2) linear-form masks per product.
     let mut products: Vec<(u64, u64)> = Vec::new();
-    loop {
-        // Find any remaining quadratic term x_i x_j.
-        let Some(i) = (0..n).find(|&i| adj[i] != 0) else {
-            break;
-        };
+    // Find any remaining quadratic term x_i x_j.
+    while let Some(i) = (0..n).find(|&i| adj[i] != 0) {
         let l1 = adj[i] as u64; // ∂Q/∂x_i
         let j = adj[i].trailing_zeros() as usize;
         let l2 = adj[j] as u64; // ∂Q/∂x_j

@@ -49,7 +49,7 @@ impl core::fmt::Debug for Tt {
 
 impl core::fmt::Display for Tt {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let digits = ((1usize << self.vars) + 3) / 4;
+        let digits = (1usize << self.vars).div_ceil(4);
         write!(f, "{:0width$x}", self.bits, width = digits.max(1))
     }
 }
@@ -135,7 +135,10 @@ impl Tt {
     /// Panics if `i >= vars` or `vars > 6`.
     #[inline]
     pub fn projection(i: usize, vars: usize) -> Self {
-        assert!(i < vars, "projection index {i} out of range for {vars} vars");
+        assert!(
+            i < vars,
+            "projection index {i} out of range for {vars} vars"
+        );
         Self::from_bits(PROJECTIONS[i], vars)
     }
 
@@ -364,8 +367,8 @@ impl Tt {
     /// ```
     pub fn anf(self) -> u64 {
         let mut t = self.bits;
-        for i in 0..self.vars() {
-            t ^= (t & !PROJECTIONS[i]) << (1usize << i);
+        for (i, p) in PROJECTIONS.iter().enumerate().take(self.vars()) {
+            t ^= (t & !p) << (1usize << i);
         }
         t & Self::mask(self.vars())
     }

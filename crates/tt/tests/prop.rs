@@ -1,85 +1,121 @@
-//! Property-based tests for the truth-table kernel.
+//! Randomized property tests for the truth-table kernel, driven by a
+//! fixed-seed deterministic generator (every failure reproduces from the
+//! seed in the assertion message).
 
-use proptest::prelude::*;
+use mc_rng::Rng;
 use xag_tt::{AffineOp, Tt};
 
-fn arb_tt() -> impl Strategy<Value = Tt> {
-    (any::<u64>(), 1usize..=6).prop_map(|(bits, vars)| Tt::from_bits(bits, vars))
+fn arb_tt(rng: &mut Rng) -> Tt {
+    let vars = rng.gen_range(1..7);
+    Tt::from_bits(rng.next_u64(), vars)
 }
 
-fn arb_op(vars: usize) -> impl Strategy<Value = AffineOp> {
-    let v = vars;
-    prop_oneof![
-        (0..v, 0..v)
-            .prop_filter("distinct", |(i, j)| i != j)
-            .prop_map(|(i, j)| AffineOp::Swap(i, j)),
-        (0..v).prop_map(AffineOp::FlipInput),
-        Just(AffineOp::FlipOutput),
-        (0..v, 0..v)
-            .prop_filter("distinct", |(i, j)| i != j)
-            .prop_map(|(dst, src)| AffineOp::Translate { dst, src }),
-        (0..v).prop_map(AffineOp::XorOutput),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn anf_roundtrip(t in arb_tt()) {
-        prop_assert_eq!(Tt::from_anf(t.anf(), t.vars()), t);
+fn arb_op(rng: &mut Rng, vars: usize) -> AffineOp {
+    loop {
+        match rng.gen_range(0..5) {
+            0 => {
+                let i = rng.gen_range(0..vars);
+                let j = rng.gen_range(0..vars);
+                if i != j {
+                    return AffineOp::Swap(i, j);
+                }
+            }
+            1 => return AffineOp::FlipInput(rng.gen_range(0..vars)),
+            2 => return AffineOp::FlipOutput,
+            3 => {
+                let dst = rng.gen_range(0..vars);
+                let src = rng.gen_range(0..vars);
+                if dst != src {
+                    return AffineOp::Translate { dst, src };
+                }
+            }
+            _ => return AffineOp::XorOutput(rng.gen_range(0..vars)),
+        }
     }
+}
 
-    #[test]
-    fn walsh_parseval(t in arb_tt()) {
+#[test]
+fn anf_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x7701);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
+        assert_eq!(Tt::from_anf(t.anf(), t.vars()), t, "{t:?}");
+    }
+}
+
+#[test]
+fn walsh_parseval() {
+    let mut rng = Rng::seed_from_u64(0x7702);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
         let s = t.walsh_spectrum();
         let sum: i64 = s.iter().map(|&v| (v as i64) * (v as i64)).sum();
-        prop_assert_eq!(sum, 1i64 << (2 * t.vars()));
+        assert_eq!(sum, 1i64 << (2 * t.vars()), "{t:?}");
     }
+}
 
-    #[test]
-    fn shannon_reconstruction(t in arb_tt(), i in 0usize..6) {
-        let i = i % t.vars();
+#[test]
+fn shannon_reconstruction() {
+    let mut rng = Rng::seed_from_u64(0x7703);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
+        let i = rng.gen_range(0..t.vars());
         let xi = Tt::projection(i, t.vars());
-        prop_assert_eq!((xi & t.cofactor1(i)) | (!xi & t.cofactor0(i)), t);
+        assert_eq!(
+            (xi & t.cofactor1(i)) | (!xi & t.cofactor0(i)),
+            t,
+            "{t:?}/{i}"
+        );
     }
+}
 
-    #[test]
-    fn ops_are_involutions(t in arb_tt().prop_flat_map(|t| {
+#[test]
+fn ops_are_involutions() {
+    let mut rng = Rng::seed_from_u64(0x7704);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
         let vars = t.vars().max(2);
         let t = t.extend_to(vars);
-        arb_op(vars).prop_map(move |op| (t, op))
-    })) {
-        let (t, op) = t;
-        prop_assert_eq!(op.apply(op.apply(t)), t);
+        let op = arb_op(&mut rng, vars);
+        assert_eq!(op.apply(op.apply(t)), t, "{t:?} {op:?}");
     }
+}
 
-    #[test]
-    fn ops_preserve_weight_structure(t in arb_tt().prop_flat_map(|t| {
+#[test]
+fn ops_preserve_weight_structure() {
+    let mut rng = Rng::seed_from_u64(0x7705);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
         let vars = t.vars().max(2);
         let t = t.extend_to(vars);
-        proptest::collection::vec(arb_op(vars), 0..8).prop_map(move |ops| (t, ops))
-    })) {
+        let ops: Vec<AffineOp> = (0..rng.gen_range(0..8))
+            .map(|_| arb_op(&mut rng, vars))
+            .collect();
         // Affine ops preserve algebraic degree for degree ≥ 2 (XOR-ing
         // linear terms cannot change higher-order ANF coefficients).
-        let (t, ops) = t;
         let g = AffineOp::apply_all(t, &ops);
         if t.degree() >= 2 {
-            prop_assert_eq!(g.degree(), t.degree());
+            assert_eq!(g.degree(), t.degree(), "{t:?} {ops:?}");
         } else {
-            prop_assert!(g.degree() <= 1);
+            assert!(g.degree() <= 1, "{t:?} {ops:?}");
         }
-        prop_assert_eq!(AffineOp::undo_all(g, &ops), t);
+        assert_eq!(AffineOp::undo_all(g, &ops), t, "{t:?} {ops:?}");
     }
+}
 
-    #[test]
-    fn support_shrink_preserves_semantics(t in arb_tt()) {
+#[test]
+fn support_shrink_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0x7706);
+    for _ in 0..256 {
+        let t = arb_tt(&mut rng);
         let (g, map) = t.shrink_to_support();
-        prop_assert_eq!(g.vars(), map.len());
+        assert_eq!(g.vars(), map.len(), "{t:?}");
         for m in 0..(1u64 << t.vars()) {
             let mut reduced = 0u64;
             for (k, &orig) in map.iter().enumerate() {
                 reduced |= ((m >> orig) & 1) << k;
             }
-            prop_assert_eq!(t.eval(m), g.eval(reduced));
+            assert_eq!(t.eval(m), g.eval(reduced), "{t:?} minterm {m}");
         }
     }
 }

@@ -98,10 +98,7 @@ pub fn read_bristol<R: Read>(reader: R) -> Result<Xag, ParseBristolError> {
         .ok_or_else(|| malformed("bad wire count"))?;
 
     let parse_values = |line: &str| -> Result<Vec<usize>, ParseBristolError> {
-        let nums: Option<Vec<usize>> = line
-            .split_whitespace()
-            .map(|t| t.parse().ok())
-            .collect();
+        let nums: Option<Vec<usize>> = line.split_whitespace().map(|t| t.parse().ok()).collect();
         let nums = nums.ok_or_else(|| malformed("bad value list"))?;
         if nums.is_empty() || nums.len() != nums[0] + 1 {
             return Err(malformed("value list length mismatch"));
@@ -150,13 +147,14 @@ pub fn read_bristol<R: Read>(reader: R) -> Result<Xag, ParseBristolError> {
             }
             Ok(w)
         };
-        let in_wire = |wires: &HashMap<usize, Signal>, t: &str| -> Result<Signal, ParseBristolError> {
-            let w = idx(t)?;
-            wires
-                .get(&w)
-                .copied()
-                .ok_or_else(|| malformed(format!("use of undefined wire {w}")))
-        };
+        let in_wire =
+            |wires: &HashMap<usize, Signal>, t: &str| -> Result<Signal, ParseBristolError> {
+                let w = idx(t)?;
+                wires
+                    .get(&w)
+                    .copied()
+                    .ok_or_else(|| malformed(format!("use of undefined wire {w}")))
+            };
         let out_wire = idx(tokens[2 + nin])?;
         let signal = match (kind, nin, nout) {
             ("AND", 2, 1) => {

@@ -63,11 +63,7 @@ pub fn equiv_exhaustive(a: &Xag, b: &Xag) -> bool {
         };
         let ra = a.simulate(&words);
         let rb = b.simulate(&words);
-        if ra
-            .iter()
-            .zip(&rb)
-            .any(|(x, y)| (x ^ y) & mask != 0)
-        {
+        if ra.iter().zip(&rb).any(|(x, y)| (x ^ y) & mask != 0) {
             return false;
         }
         m += 64;

@@ -402,7 +402,9 @@ impl XagFragment {
     /// involution), the result computes `f`.
     #[must_use]
     pub fn undo_affine_ops(&self, ops: &[AffineOp]) -> XagFragment {
-        ops.iter().rev().fold(self.clone(), |f, &op| f.apply_affine_op(op))
+        ops.iter()
+            .rev()
+            .fold(self.clone(), |f, &op| f.apply_affine_op(op))
     }
 
     /// Appends all gates of `other` (which must have the same input count)

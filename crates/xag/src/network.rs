@@ -124,7 +124,11 @@ impl Xag {
 
     /// Adds a primary input and returns its signal.
     pub fn input(&mut self) -> Signal {
-        let id = self.alloc(NodeKind::Input(self.pis.len() as u32), Signal::CONST0, Signal::CONST0);
+        let id = self.alloc(
+            NodeKind::Input(self.pis.len() as u32),
+            Signal::CONST0,
+            Signal::CONST0,
+        );
         self.pis.push(id);
         Signal::new(id, false)
     }
@@ -306,7 +310,12 @@ impl Xag {
         let (a, b) = (self.resolve(a), self.resolve(b));
         match normalize_and(a, b) {
             Norm::Trivial(s) => Some(s),
-            Norm::Gate { is_and, a, b, out_compl } => self
+            Norm::Gate {
+                is_and,
+                a,
+                b,
+                out_compl,
+            } => self
                 .strash
                 .get(&(is_and, a, b))
                 .map(|&n| Signal::new(n, out_compl)),
@@ -318,7 +327,12 @@ impl Xag {
         let (a, b) = (self.resolve(a), self.resolve(b));
         match normalize_xor(a, b) {
             Norm::Trivial(s) => Some(s),
-            Norm::Gate { is_and, a, b, out_compl } => self
+            Norm::Gate {
+                is_and,
+                a,
+                b,
+                out_compl,
+            } => self
                 .strash
                 .get(&(is_and, a, b))
                 .map(|&n| Signal::new(n, out_compl)),
@@ -408,7 +422,13 @@ impl Xag {
                     continue; // stale fanout entry
                 }
                 self.unhash(p);
-                let remap = |f: Signal| if f.node() == old { new_sig ^ f.is_complement() } else { f };
+                let remap = |f: Signal| {
+                    if f.node() == old {
+                        new_sig ^ f.is_complement()
+                    } else {
+                        f
+                    }
+                };
                 let (g0, g1) = (remap(f0), remap(f1));
                 for f in [f0, f1] {
                     if f.node() == old {
@@ -473,6 +493,18 @@ impl Xag {
             if self.nref[old as usize] == 0 {
                 self.kill(old);
             }
+        }
+    }
+
+    /// Removes a dangling gate — a node nothing references, typically a
+    /// rewrite candidate that was instantiated and then rejected — along
+    /// with every fanin-cone node whose reference count drops to zero.
+    ///
+    /// No-op for constants, inputs, dead nodes, and nodes that still have
+    /// references, so it is always safe to call on a signal's node.
+    pub fn remove_dangling(&mut self, n: NodeId) {
+        if self.is_gate(n) && !self.dead[n as usize] && self.nref[n as usize] == 0 {
+            self.kill(n);
         }
     }
 
@@ -612,7 +644,13 @@ impl Xag {
     /// is input `i`).
     pub fn evaluate(&self, assignment: u64) -> Vec<bool> {
         let words: Vec<u64> = (0..self.num_inputs())
-            .map(|i| if (assignment >> i) & 1 == 1 { u64::MAX } else { 0 })
+            .map(|i| {
+                if (assignment >> i) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
             .collect();
         self.simulate(&words).iter().map(|&w| w & 1 == 1).collect()
     }

@@ -69,7 +69,11 @@ pub fn write_verilog<W: Write>(xag: &Xag, name: &str, mut writer: W) -> std::io:
 
     let operand = |s: Signal, names: &HashMap<u32, String>| -> String {
         if s.is_const() {
-            return if s.is_complement() { "1'b1".into() } else { "1'b0".into() };
+            return if s.is_complement() {
+                "1'b1".into()
+            } else {
+                "1'b0".into()
+            };
         }
         let base = &names[&s.node()];
         if s.is_complement() {

@@ -1,8 +1,9 @@
-//! Property-based tests for the XAG network: random construction,
-//! substitution fuzzing, cleanup and Bristol round-trips.
+//! Randomized property tests for the XAG network: random construction,
+//! substitution fuzzing, cleanup, dangling-node removal, and Bristol
+//! round-trips. Driven by a fixed-seed deterministic generator.
 
-use proptest::prelude::*;
-use xag_network::{equiv_exhaustive, read_bristol, write_bristol, Signal, Xag};
+use mc_rng::Rng;
+use xag_network::{equiv_exhaustive, read_bristol, write_bristol, NodeKind, Signal, Xag};
 
 /// A recipe for a random network over `n` inputs: each step picks a gate
 /// type and two previously available signals (with complements).
@@ -11,6 +12,29 @@ struct Recipe {
     inputs: usize,
     steps: Vec<(bool, usize, bool, usize, bool)>,
     outputs: Vec<(usize, bool)>,
+}
+
+fn arb_recipe(rng: &mut Rng) -> Recipe {
+    let inputs = rng.gen_range(2..9);
+    let gates = rng.gen_range(1..40);
+    let outs = rng.gen_range(1..5);
+    Recipe {
+        inputs,
+        steps: (0..gates)
+            .map(|_| {
+                (
+                    rng.gen(),
+                    rng.next_u64() as usize,
+                    rng.gen(),
+                    rng.next_u64() as usize,
+                    rng.gen(),
+                )
+            })
+            .collect(),
+        outputs: (0..outs)
+            .map(|_| (rng.next_u64() as usize, rng.gen()))
+            .collect(),
+    }
 }
 
 fn build(recipe: &Recipe) -> Xag {
@@ -30,111 +54,142 @@ fn build(recipe: &Recipe) -> Xag {
     x
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..=8, 1usize..40, 1usize..5).prop_flat_map(|(inputs, gates, outs)| {
-        (
-            proptest::collection::vec(
-                (any::<bool>(), any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
-                gates,
-            ),
-            proptest::collection::vec((any::<usize>(), any::<bool>()), outs),
-        )
-            .prop_map(move |(steps, outputs)| Recipe {
-                inputs,
-                steps,
-                outputs,
-            })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cleanup_preserves_function(recipe in arb_recipe()) {
+#[test]
+fn cleanup_preserves_function() {
+    let mut rng = Rng::seed_from_u64(0xA6_0001);
+    for case in 0..64 {
+        let recipe = arb_recipe(&mut rng);
         let x = build(&recipe);
         let y = x.cleanup();
-        prop_assert!(equiv_exhaustive(&x, &y));
-        prop_assert_eq!(x.num_ands(), y.num_ands());
-        prop_assert_eq!(x.num_xors(), y.num_xors());
+        assert!(equiv_exhaustive(&x, &y), "case {case}");
+        assert_eq!(x.num_ands(), y.num_ands(), "case {case}");
+        assert_eq!(x.num_xors(), y.num_xors(), "case {case}");
     }
+}
 
-    #[test]
-    fn bristol_roundtrip(recipe in arb_recipe()) {
+#[test]
+fn bristol_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xA6_0002);
+    for case in 0..64 {
+        let recipe = arb_recipe(&mut rng);
         let x = build(&recipe);
         let mut buf = Vec::new();
         write_bristol(&x, &mut buf).expect("write");
         let y = read_bristol(buf.as_slice()).expect("read");
-        prop_assert!(equiv_exhaustive(&x, &y));
+        assert!(equiv_exhaustive(&x, &y), "case {case}");
         // The reader must not create more ANDs than the writer printed.
-        prop_assert_eq!(x.num_ands(), y.num_ands());
+        assert_eq!(x.num_ands(), y.num_ands(), "case {case}");
     }
+}
 
-    #[test]
-    fn substitute_equivalent_cone_preserves_function(
-        recipe in arb_recipe(),
-        pick in any::<usize>(),
-    ) {
+#[test]
+fn substitute_equivalent_cone_preserves_function() {
+    let mut rng = Rng::seed_from_u64(0xA6_0003);
+    for case in 0..64 {
         // Replace a random gate by a freshly rebuilt equivalent cone
         // (rebuilding through the strash should hit the same nodes or
         // equivalent ones), then check I/O equivalence.
+        let recipe = arb_recipe(&mut rng);
         let mut x = build(&recipe);
         let gates = x.live_gates();
-        prop_assume!(!gates.is_empty());
-        let target = gates[pick % gates.len()];
+        if gates.is_empty() {
+            continue;
+        }
+        let target = gates[rng.next_u64() as usize % gates.len()];
         // Rebuild the target's function from its fanins with the same ops:
-        // substituting a node by itself-equivalent signal is a no-op or a
+        // substituting a node by an equivalent signal is a no-op or a
         // strash merge; both must preserve the network function.
         let (f0, f1) = x.fanins(target);
         let rebuilt = match x.kind(target) {
-            xag_network::NodeKind::And => {
-                // a & b  ==  !(!a | !b) == !(!(!!a & !!b))... simply re-AND.
-                let t = x.and(f0, f1);
-                t
-            }
-            xag_network::NodeKind::Xor => {
-                let t = x.xor(!f0, !f1);
-                t
-            }
+            NodeKind::And => x.and(f0, f1),
+            NodeKind::Xor => x.xor(!f0, !f1),
             _ => unreachable!(),
         };
         let reference = x.cleanup();
         if !x.is_in_tfi(target, rebuilt) {
             x.substitute(target, rebuilt);
-            prop_assert!(equiv_exhaustive(&reference, &x.cleanup()));
+            assert!(equiv_exhaustive(&reference, &x.cleanup()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn substitute_by_constant_keeps_consistency(
-        recipe in arb_recipe(),
-        pick in any::<usize>(),
-        value in any::<bool>(),
-    ) {
+#[test]
+fn substitute_by_constant_keeps_consistency() {
+    let mut rng = Rng::seed_from_u64(0xA6_0004);
+    for case in 0..64 {
         // Replacing any gate by a constant must leave a structurally sound
         // network (no panics, simulation works, counts consistent).
+        let recipe = arb_recipe(&mut rng);
         let mut x = build(&recipe);
         let gates = x.live_gates();
-        prop_assume!(!gates.is_empty());
-        let target = gates[pick % gates.len()];
-        let c = Signal::CONST0 ^ value;
+        if gates.is_empty() {
+            continue;
+        }
+        let target = gates[rng.next_u64() as usize % gates.len()];
+        let c = Signal::CONST0 ^ rng.gen();
         x.substitute(target, c);
         let y = x.cleanup();
-        prop_assert!(equiv_exhaustive(&x, &y));
-        prop_assert!(y.num_gates() <= x.num_gates());
+        assert!(equiv_exhaustive(&x, &y), "case {case}");
+        assert!(y.num_gates() <= x.num_gates(), "case {case}");
     }
+}
 
-    #[test]
-    fn simulate_agrees_with_evaluate(recipe in arb_recipe(), assignment in any::<u64>()) {
+#[test]
+fn simulate_agrees_with_evaluate() {
+    let mut rng = Rng::seed_from_u64(0xA6_0005);
+    for case in 0..64 {
+        let recipe = arb_recipe(&mut rng);
         let x = build(&recipe);
-        let m = assignment & ((1 << x.num_inputs()) - 1);
+        let m = rng.next_u64() & ((1 << x.num_inputs()) - 1);
         let bits = x.evaluate(m);
         let words: Vec<u64> = (0..x.num_inputs())
             .map(|i| if (m >> i) & 1 == 1 { u64::MAX } else { 0 })
             .collect();
         let sim = x.simulate(&words);
         for (o, &w) in sim.iter().enumerate() {
-            prop_assert_eq!(bits[o], w & 1 == 1);
+            assert_eq!(bits[o], w & 1 == 1, "case {case} output {o}");
         }
     }
+}
+
+#[test]
+fn remove_dangling_reclaims_unreferenced_cones() {
+    let mut rng = Rng::seed_from_u64(0xA6_0006);
+    for case in 0..64 {
+        let recipe = arb_recipe(&mut rng);
+        let mut x = build(&recipe);
+        let reference = x.cleanup();
+        // Grow a dangling cone on top of live signals without referencing
+        // it from any output, then reclaim it from its root.
+        let watermark = x.capacity();
+        let a = x.input_signal(0);
+        let b = x.input_signal(x.num_inputs() - 1);
+        let g1 = x.and(a, !b);
+        let g2 = x.xor(g1, a);
+        let root = x.and(g2, b);
+        for id in (watermark..x.capacity()).rev() {
+            x.remove_dangling(id as u32);
+        }
+        for id in watermark..x.capacity() {
+            assert!(x.is_dead(id as u32), "case {case}: node {id} survived");
+        }
+        // Live logic is untouched.
+        assert!(equiv_exhaustive(&reference, &x.cleanup()), "case {case}");
+        let _ = root;
+    }
+}
+
+#[test]
+fn remove_dangling_respects_referenced_nodes() {
+    let mut x = Xag::new();
+    let a = x.input();
+    let b = x.input();
+    let g = x.and(a, b);
+    x.output(g);
+    // The gate is referenced by an output: removal must be a no-op.
+    x.remove_dangling(g.node());
+    assert!(!x.is_dead(g.node()));
+    // Inputs and constants are never removed.
+    x.remove_dangling(a.node());
+    assert!(!x.is_dead(a.node()));
 }

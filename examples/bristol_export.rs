@@ -14,11 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = input_word(&mut xag, 32);
     let lt = less_than_unsigned(&mut xag, &a, &b);
     xag.output(lt);
-    println!("comparator: {} AND gates before optimization", xag.num_ands());
+    println!(
+        "comparator: {} AND gates before optimization",
+        xag.num_ands()
+    );
 
     McOptimizer::new().run_to_convergence(&mut xag);
     let xag = xag.cleanup();
-    println!("comparator: {} AND gates after optimization", xag.num_ands());
+    println!(
+        "comparator: {} AND gates after optimization",
+        xag.num_ands()
+    );
 
     let mut text = Vec::new();
     write_bristol(&xag, &mut text)?;

@@ -23,7 +23,11 @@ fn main() {
     let sum = xag.xor(axb, cin);
     xag.output(sum);
     xag.output(cout);
-    println!("Fig. 1: full adder with {} AND, {} XOR", xag.num_ands(), xag.num_xors());
+    println!(
+        "Fig. 1: full adder with {} AND, {} XOR",
+        xag.num_ands(),
+        xag.num_xors()
+    );
 
     // Figure 1(b): the cut of cout over {a, b, cin} computes the majority,
     // truth table 0xe8 as the paper states.

@@ -26,7 +26,11 @@ fn main() {
     // 2. Optimize: cut rewriting with affine classification (DAC'19).
     let mut opt = McOptimizer::new();
     let stats = opt.run_to_convergence(&mut xag);
-    println!("after:  {} AND, {} XOR gates", xag.num_ands(), xag.num_xors());
+    println!(
+        "after:  {} AND, {} XOR gates",
+        xag.num_ands(),
+        xag.num_xors()
+    );
     println!("{stats}");
 
     // 3. Verify: exhaustive equivalence check over all 2^16 inputs.

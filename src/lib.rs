@@ -14,7 +14,11 @@
 //! * [`affine`] — affine-equivalence classification;
 //! * [`synth`] — MC-oriented synthesis (the on-demand database);
 //! * [`cuts`] — k-feasible cut enumeration;
-//! * [`mc`] — the cut-rewriting optimizer (the paper's Algorithm 1);
+//! * [`mc`] — the cut-rewriting optimizer (the paper's Algorithm 1) as a
+//!   pass-based pipeline: [`mc::Pass`] implementations
+//!   ([`mc::McRewrite`], [`mc::SizeRewrite`], [`mc::XorReduce`],
+//!   [`mc::Cleanup`]) composed by [`mc::Pipeline`] over a shared
+//!   [`mc::OptContext`], with [`mc::McOptimizer`] as the one-call facade;
 //! * [`circuits`] — EPFL-style and MPC/FHE benchmark generators.
 //!
 //! # Quickstart

@@ -2,7 +2,7 @@
 //! the Boyar–Peralta optimum of exactly one AND gate per bit.
 
 use mc_repro::circuits::arith::{add_ripple, input_word, output_word};
-use mc_repro::mc::McOptimizer;
+use mc_repro::mc::{McOptimizer, OptContext, Pipeline};
 use mc_repro::network::{equiv_exhaustive, equiv_random, Signal, Xag};
 
 fn adder(bits: usize) -> Xag {
@@ -30,10 +30,12 @@ fn eight_bit_adder_reaches_eight_ands() {
 
 #[test]
 fn sixteen_bit_adder_reaches_sixteen_ands() {
+    // Same experiment through the pipeline API: the explicit paper flow
+    // must match what the facade does.
     let mut xag = adder(16);
     let reference = xag.cleanup();
-    let mut opt = McOptimizer::new();
-    opt.run_to_convergence(&mut xag);
+    let mut ctx = OptContext::new();
+    Pipeline::paper_flow().run(&mut xag, &mut ctx);
     assert_eq!(xag.num_ands(), 16);
     assert!(equiv_random(&reference, &xag.cleanup(), 0xADDE, 64));
 }

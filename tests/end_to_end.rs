@@ -1,22 +1,25 @@
-//! Cross-crate integration: generators → cut rewriting → verification →
-//! Bristol export, over a sample of both benchmark suites.
+//! Cross-crate integration: generators → cut-rewriting pipeline →
+//! verification → Bristol export, over a sample of both benchmark suites.
+//! One [`OptContext`] is shared across every network, exercising database
+//! amortization the way the table binaries use it.
 
 use mc_repro::circuits::epfl::{epfl_suite, Scale};
 use mc_repro::circuits::mpc::mpc_suite;
-use mc_repro::mc::{McOptimizer, RewriteParams};
+use mc_repro::mc::{McRewrite, OptContext, Pass, Pipeline};
 use mc_repro::network::{equiv, read_bristol, write_bristol};
 
 #[test]
 fn reduced_epfl_rows_optimize_and_stay_equivalent() {
     let interesting = ["adder", "bar", "int2float", "dec", "priority"];
-    let mut opt = McOptimizer::new();
+    let mut ctx = OptContext::new();
+    let flow = Pipeline::paper_flow();
     for bench in epfl_suite(Scale::Reduced) {
         if !interesting.contains(&bench.name) {
             continue;
         }
         let mut xag = bench.xag.cleanup();
         let before = xag.num_ands();
-        opt.run_to_convergence(&mut xag);
+        flow.run(&mut xag, &mut ctx);
         assert!(xag.num_ands() <= before, "{} regressed", bench.name);
         assert!(
             equiv(&bench.xag, &xag.cleanup(), 42, 64),
@@ -28,14 +31,15 @@ fn reduced_epfl_rows_optimize_and_stay_equivalent() {
 
 #[test]
 fn comparators_improve_and_roundtrip_through_bristol() {
-    let mut opt = McOptimizer::new();
+    let mut ctx = OptContext::new();
+    let flow = Pipeline::paper_flow();
     for bench in mpc_suite(false) {
         if !bench.name.starts_with("Comp.") {
             continue;
         }
         let mut xag = bench.xag.cleanup();
         let before = xag.num_ands();
-        opt.run_to_convergence(&mut xag);
+        flow.run(&mut xag, &mut ctx);
         // The paper reports 24–28% improvements on the comparators.
         assert!(
             xag.num_ands() < before,
@@ -54,14 +58,13 @@ fn comparators_improve_and_roundtrip_through_bristol() {
 fn one_round_is_cheaper_than_convergence_but_helps() {
     let suite = epfl_suite(Scale::Reduced);
     let bar = suite.iter().find(|b| b.name == "bar").expect("barrel");
+    let mut ctx = OptContext::new();
     let mut one = bar.xag.cleanup();
-    let mut opt = McOptimizer::new();
-    let round = opt.run_once(&mut one);
+    let round = McRewrite::new().run(&mut one, &mut ctx);
     assert!(round.ands_after < round.ands_before, "one round helps");
 
     let mut conv = bar.xag.cleanup();
-    let mut opt2 = McOptimizer::with_params(RewriteParams::default());
-    opt2.run_to_convergence(&mut conv);
+    Pipeline::paper_flow().run(&mut conv, &mut ctx);
     assert!(conv.num_ands() <= one.num_ands(), "convergence ≥ one round");
     // Barrel shifter: textbook muxes (3 ANDs) must collapse toward 1 AND
     // per mux, i.e. at least a 50% cut.

@@ -106,12 +106,8 @@ fn xor_reduction_after_rewriting() {
     let mut xag = Xag::new();
     let a = input_word(&mut xag, 10);
     let b = input_word(&mut xag, 10);
-    let (s, c) = mc_repro::circuits::arith::add_ripple(
-        &mut xag,
-        &a,
-        &b,
-        mc_repro::network::Signal::CONST0,
-    );
+    let (s, c) =
+        mc_repro::circuits::arith::add_ripple(&mut xag, &a, &b, mc_repro::network::Signal::CONST0);
     output_word(&mut xag, &s);
     xag.output(c);
     let reference = xag.cleanup();
