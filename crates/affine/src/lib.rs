@@ -92,7 +92,7 @@ impl Default for ClassifyConfig {
 /// The cache mirrors the paper's §4.1: "we maintain a cache of computed
 /// representatives and affine operations for all considered Boolean
 /// functions during rewriting", so no function is classified twice.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AffineClassifier {
     config: ClassifyConfig,
     cache: HashMap<Tt, Classification>,
@@ -160,6 +160,32 @@ impl AffineClassifier {
     /// `(cache hits, cache misses)` since construction.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Clones the classifier for a worker thread: the fork keeps the whole
+    /// memoization cache but starts its hit/miss statistics at zero, so a
+    /// later [`AffineClassifier::absorb`] adds exactly the work the fork
+    /// did (instead of double-counting the parent's history).
+    pub fn fork(&self) -> AffineClassifier {
+        AffineClassifier {
+            config: self.config,
+            cache: self.cache.clone(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Merges a fork's memoized results into this classifier. Both compute
+    /// identical results for identical inputs (the search is
+    /// deterministic), so merge order does not matter; existing entries
+    /// are kept. Used to fold worker-local classifiers back into a shared
+    /// one after a parallel rewriting round.
+    pub fn absorb(&mut self, other: AffineClassifier) {
+        for (f, c) in other.cache {
+            self.cache.entry(f).or_insert(c);
+        }
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
     }
 
     /// Number of distinct affine classes among all functions of `n ≤ 4`

@@ -6,9 +6,11 @@
 
 use xag_affine::AffineClassifier;
 use xag_bench::harness::{black_box, BenchGroup};
+use xag_circuits::aes::SboxBuilder;
 use xag_circuits::arith::{add_ripple, input_word, multiply_array, output_word};
+use xag_circuits::keccak::keccak_f;
 use xag_cuts::{enumerate_cuts, CutParams};
-use xag_mc::{McRewrite, OptContext, Pass};
+use xag_mc::{McRewrite, OptContext, ParRewrite, Pass};
 use xag_network::{Signal, Xag};
 use xag_synth::Synthesizer;
 use xag_tt::Tt;
@@ -76,6 +78,61 @@ fn bench_rewriting(g: &mut BenchGroup) {
     });
 }
 
+/// A bank of AES S-boxes: the crypto kernel whose tower-field structure
+/// dominates the AES rows of Table 2.
+fn sbox_bank(instances: usize) -> Xag {
+    let mut x = Xag::new();
+    let mut sbox = SboxBuilder::new();
+    for _ in 0..instances {
+        let bits: Vec<Signal> = (0..8).map(|_| x.input()).collect();
+        for s in sbox.build(&mut x, &bits) {
+            x.output(s);
+        }
+    }
+    x
+}
+
+/// Single- vs multi-thread rounds of the sharded engine on the Keccak and
+/// AES kernels. The engine is bit-identical across thread counts, so the
+/// reported speedup lines compare equal work (they show ~1x on a
+/// single-core host; the propose phase scales with cores).
+fn bench_parallel_rewriting(g: &mut BenchGroup) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+
+    let keccak = keccak_f(1);
+    let t1 = g.bench_function_timed("par_rewrite/keccak25_1thread", || {
+        let mut xag = keccak.cleanup();
+        let mut ctx = OptContext::new();
+        let stats = ParRewrite::new(1).run(&mut xag, &mut ctx);
+        black_box(stats.ands_after)
+    });
+    let tn = g.bench_function_timed(&format!("par_rewrite/keccak25_{threads}threads"), || {
+        let mut xag = keccak.cleanup();
+        let mut ctx = OptContext::new();
+        let stats = ParRewrite::new(threads).run(&mut xag, &mut ctx);
+        black_box(stats.ands_after)
+    });
+    g.report_ratio("par_rewrite/keccak25_speedup", t1, tn);
+
+    let aes = sbox_bank(8);
+    let t1 = g.bench_function_timed("par_rewrite/aes_sbox8_1thread", || {
+        let mut xag = aes.cleanup();
+        let mut ctx = OptContext::new();
+        let stats = ParRewrite::new(1).run(&mut xag, &mut ctx);
+        black_box(stats.ands_after)
+    });
+    let tn = g.bench_function_timed(&format!("par_rewrite/aes_sbox8_{threads}threads"), || {
+        let mut xag = aes.cleanup();
+        let mut ctx = OptContext::new();
+        let stats = ParRewrite::new(threads).run(&mut xag, &mut ctx);
+        black_box(stats.ands_after)
+    });
+    g.report_ratio("par_rewrite/aes_sbox8_speedup", t1, tn);
+}
+
 fn main() {
     let mut g = BenchGroup::new("kernels");
     g.sample_size(10);
@@ -83,5 +140,6 @@ fn main() {
     bench_classification(&mut g);
     bench_synthesis(&mut g);
     bench_rewriting(&mut g);
+    bench_parallel_rewriting(&mut g);
     g.finish();
 }

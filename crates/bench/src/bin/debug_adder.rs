@@ -1,7 +1,9 @@
 //! Developer tool: trace per-round AND counts while optimizing a ripple
 //! adder through the pass pipeline, to inspect convergence behaviour.
 //!
-//! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars]`
+//! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars] [threads]`
+//!
+//! With `threads > 1` the flow runs through the sharded parallel engine.
 
 use xag_circuits::arith::{add_ripple, input_word, output_word};
 use xag_mc::{OptContext, Pipeline, RewriteParams};
@@ -18,6 +20,7 @@ fn main() {
     let cut_limit = arg(2, 12);
     let cut_size = arg(3, 6);
     let exact_vars = arg(4, 4);
+    let threads = arg(5, 1);
 
     let mut x = Xag::new();
     let a = input_word(&mut x, bits);
@@ -35,7 +38,11 @@ fn main() {
     println!("flow: {:?}", flow.pass_names());
 
     let mut ctx = OptContext::with_config(params.classify_config, params.synth_config);
-    let stats = flow.run(&mut x, &mut ctx);
+    let stats = if threads > 1 {
+        flow.run_parallel(&mut x, &mut ctx, threads)
+    } else {
+        flow.run(&mut x, &mut ctx)
+    };
     for (i, r) in stats.passes.iter().enumerate() {
         println!("round {i}: {r}");
     }

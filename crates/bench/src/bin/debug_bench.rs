@@ -4,12 +4,26 @@
 //! The phases are driven pass by pass — [`SizeRewrite`] for the baseline,
 //! then [`McRewrite`] rounds — over one shared [`OptContext`], mirroring
 //! what `run_flow` composes into pipelines.
+//!
+//! Usage: `debug_bench [name] [--threads N]` — with `--threads N` each
+//! round runs through the sharded parallel engine.
 
 use xag_circuits::epfl::{epfl_suite, Scale};
 use xag_mc::{McRewrite, OptContext, Pass, SizeRewrite};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "div".into());
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "div".into());
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let suite = epfl_suite(Scale::Reduced);
     let bench = suite
         .iter()
@@ -33,7 +47,11 @@ fn main() {
     println!("— mc rewriting —");
     let mc_pass = McRewrite::new();
     for i in 0..30 {
-        let s = mc_pass.run(&mut xag, &mut ctx);
+        let s = if threads > 1 {
+            mc_pass.run_parallel(&mut xag, &mut ctx, threads)
+        } else {
+            mc_pass.run(&mut xag, &mut ctx)
+        };
         println!(
             "mc round {i}: {s} (capacity {}, db {})",
             xag.capacity(),

@@ -3,19 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p xag-bench --bin table1 [--full]
+//! cargo run --release -p xag-bench --bin table1 [--full] [--threads N]
 //! ```
 //!
 //! Without `--full` the suite runs at reduced word widths (seconds instead
 //! of hours); the improvement *shape* — arithmetic benchmarks gaining far
-//! more than random-control ones — is preserved at either scale.
+//! more than random-control ones — is preserved at either scale. With
+//! `--threads N` every row additionally runs the sharded parallel engine
+//! with one and with `N` workers and reports the (bit-identical) result
+//! and the wall-clock speedup.
 
-use xag_bench::{normalized_geomean, run_flow_with, TableRow};
+use xag_bench::{normalized_geomean, run_flow_threads, TableRow};
 use xag_circuits::epfl::{epfl_suite, Scale};
 use xag_mc::OptContext;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let scale = if full { Scale::Full } else { Scale::Reduced };
     let max_rounds = if full { 60 } else { 30 };
 
@@ -31,8 +41,12 @@ fn main() {
     // One context for the whole suite: representatives synthesized for one
     // benchmark are reused by every later one.
     let mut ctx = OptContext::new();
+    let mut speedups = Vec::new();
     for bench in epfl_suite(scale) {
-        let flow = run_flow_with(&mut ctx, &bench.xag, 2, max_rounds);
+        let flow = run_flow_threads(&mut ctx, &bench.xag, 2, max_rounds, threads);
+        if let Some(p) = &flow.parallel {
+            speedups.push(p.speedup());
+        }
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),
@@ -62,4 +76,8 @@ fn main() {
         normalized_geomean(&ctrl_pairs_one),
         normalized_geomean(&ctrl_pairs_conv)
     );
+    if !speedups.is_empty() {
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("Mean parallel speedup at {threads} threads: {mean:.2}x");
+    }
 }

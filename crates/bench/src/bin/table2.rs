@@ -3,16 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p xag-bench --bin table2 [--heavy] [--rounds N]
+//! cargo run --release -p xag-bench --bin table2 [--heavy] [--rounds N] [--threads N]
 //! ```
 //!
 //! Without `--heavy` only the arithmetic rows run (adders, multiplier,
 //! comparators — seconds). With `--heavy` the block ciphers and hash
 //! functions are included; `--rounds N` caps the until-convergence loop on
 //! those (default 3; the paper let them run to full convergence on a Xeon,
-//! spending hours on SHA-256).
+//! spending hours on SHA-256). With `--threads N` every row additionally
+//! runs the sharded parallel engine with one and with `N` workers and
+//! reports the (bit-identical) result and the wall-clock speedup.
 
-use xag_bench::{normalized_geomean, run_flow_with, TableRow};
+use xag_bench::{normalized_geomean, run_flow_threads, TableRow};
 use xag_circuits::mpc::mpc_suite;
 use xag_mc::OptContext;
 
@@ -25,6 +27,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     println!("Table 2: MPC and FHE benchmarks");
     println!("{}", TableRow::header());
@@ -35,11 +43,15 @@ fn main() {
     // One context for the whole suite: representatives synthesized for one
     // benchmark are reused by every later one.
     let mut ctx = OptContext::new();
+    let mut speedups = Vec::new();
     for bench in mpc_suite(heavy) {
         // The published MPC circuits are already size-optimized, so no
         // baseline pass; heavy entries get a capped convergence loop.
         let max_rounds = if bench.heavy { rounds } else { 50 };
-        let flow = run_flow_with(&mut ctx, &bench.xag, 0, max_rounds);
+        let flow = run_flow_threads(&mut ctx, &bench.xag, 0, max_rounds, threads);
+        if let Some(p) = &flow.parallel {
+            speedups.push(p.speedup());
+        }
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),
@@ -57,6 +69,10 @@ fn main() {
         normalized_geomean(&pairs_one),
         normalized_geomean(&pairs_conv)
     );
+    if !speedups.is_empty() {
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("Mean parallel speedup at {threads} threads: {mean:.2}x");
+    }
     if !heavy {
         println!("(run with --heavy to include AES, DES, MD5, SHA-1, SHA-256)");
     }

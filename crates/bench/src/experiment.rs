@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use xag_mc::{McRewrite, OptContext, Pass, Pipeline, RewriteParams};
-use xag_network::{equiv, Xag};
+use xag_network::{equiv, write_verilog, Xag};
 
 /// Gate counts and timings for one benchmark through the full flow.
 #[derive(Debug, Clone)]
@@ -26,6 +26,45 @@ pub struct FlowResult {
     /// True if the post-optimization network was checked equivalent to the
     /// input (exhaustively ≤ 16 inputs, by random simulation otherwise).
     pub verified: bool,
+    /// The parallel-engine comparison, present when the flow ran with
+    /// `threads > 1` (see [`run_flow_threads`]).
+    pub parallel: Option<ParallelResult>,
+}
+
+/// Single- vs multi-thread comparison of the sharded rewriting engine on
+/// one benchmark: the same until-convergence flow, run once with one
+/// worker and once with `threads` workers. The engine is deterministic
+/// across thread counts, so the two runs must agree bit for bit
+/// (`identical`) and the ratio of their times is a pure speedup.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Worker count of the multi-threaded run.
+    pub threads: usize,
+    /// AND/XOR counts after the parallel convergence flow.
+    pub counts: (usize, usize),
+    /// Wall-clock seconds of the 1-worker run of the parallel engine.
+    pub single_time: f64,
+    /// Wall-clock seconds of the `threads`-worker run.
+    pub multi_time: f64,
+    /// Rounds used by the parallel convergence flow.
+    pub rounds: usize,
+    /// True iff the multi-thread network is bit-identical to the
+    /// single-thread network (byte-equal exported netlists: same gates,
+    /// wiring, polarity, and order) — the engine's contract.
+    pub identical: bool,
+    /// True iff the parallel result was checked equivalent to the input.
+    pub verified: bool,
+}
+
+impl ParallelResult {
+    /// Wall-clock speedup of `threads` workers over one worker.
+    pub fn speedup(&self) -> f64 {
+        if self.multi_time > 0.0 {
+            self.single_time / self.multi_time
+        } else {
+            1.0
+        }
+    }
 }
 
 impl FlowResult {
@@ -52,6 +91,69 @@ fn improvement(before: usize, after: usize) -> f64 {
 /// [`OptContext`]. See [`run_flow_with`].
 pub fn run_flow(xag: &Xag, baseline_rounds: usize, max_mc_rounds: usize) -> FlowResult {
     run_flow_with(&mut OptContext::new(), xag, baseline_rounds, max_mc_rounds)
+}
+
+/// [`run_flow_with`] plus — when `threads > 1` — a single- vs
+/// multi-thread comparison of the sharded parallel engine on the
+/// convergence stage, reported in [`FlowResult::parallel`].
+pub fn run_flow_threads(
+    ctx: &mut OptContext,
+    xag: &Xag,
+    baseline_rounds: usize,
+    max_mc_rounds: usize,
+    threads: usize,
+) -> FlowResult {
+    let mut result = run_flow_with(ctx, xag, baseline_rounds, max_mc_rounds);
+    if threads <= 1 {
+        return result;
+    }
+    let reference = xag.cleanup();
+
+    // Re-create the "Initial" network the sequential stages started from.
+    let mut work = xag.cleanup();
+    if baseline_rounds > 0 {
+        Pipeline::from_params(&RewriteParams {
+            max_rounds: baseline_rounds,
+            ..RewriteParams::size_baseline()
+        })
+        .run(&mut work, ctx);
+        work = work.cleanup();
+    }
+
+    let mut single = work.cleanup();
+    let t0 = Instant::now();
+    Pipeline::paper_flow()
+        .max_rounds(max_mc_rounds)
+        .run_parallel(&mut single, ctx, 1);
+    let single_time = t0.elapsed().as_secs_f64();
+
+    let mut multi = work.cleanup();
+    let t1 = Instant::now();
+    let stats = Pipeline::paper_flow()
+        .max_rounds(max_mc_rounds)
+        .run_parallel(&mut multi, ctx, threads);
+    let multi_time = t1.elapsed().as_secs_f64();
+
+    // Bit-identity, not just equal counts: byte-compare the exported
+    // netlists (same gates, wiring, polarity, and order) so a determinism
+    // regression that preserves totals still raises [DIVERGED].
+    let netlist = |x: &Xag| -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_verilog(&x.cleanup(), "m", &mut buf).expect("in-memory write");
+        buf
+    };
+    let identical = netlist(&multi) == netlist(&single);
+    let verified = equiv(&reference, &multi.cleanup(), 0xDAC19, 64);
+    result.parallel = Some(ParallelResult {
+        threads,
+        counts: (multi.num_ands(), multi.num_xors()),
+        single_time,
+        multi_time,
+        rounds: stats.num_rounds(),
+        identical,
+        verified,
+    });
+    result
 }
 
 /// Runs the paper's experimental flow on one circuit.
@@ -116,6 +218,7 @@ pub fn run_flow_with(
         one_round,
         converged,
         verified,
+        parallel: None,
     }
 }
 
@@ -133,10 +236,12 @@ pub struct TableRow {
 }
 
 impl TableRow {
-    /// Formats the row in the layout of the paper's tables.
+    /// Formats the row in the layout of the paper's tables. When the flow
+    /// carries a parallel comparison, a `parN:` section with the
+    /// single-/multi-thread times and the speedup is appended.
     pub fn format(&self) -> String {
         let f = &self.flow;
-        format!(
+        let mut row = format!(
             "{:<28} {:>6} {:>6} | {:>7} {:>7} | {:>7} {:>7} {:>8.2} {:>5.0}% | {:>7} {:>7} {:>8.2} {:>5.0}% {}",
             self.name,
             self.inputs,
@@ -152,7 +257,21 @@ impl TableRow {
             f.converged.2,
             f.converged_impr(),
             if f.verified { "" } else { " [UNVERIFIED]" },
-        )
+        );
+        if let Some(p) = &f.parallel {
+            row.push_str(&format!(
+                " | par{}: {} AND, 1t {:.2}s, {}t {:.2}s, {:.2}x{}{}",
+                p.threads,
+                p.counts.0,
+                p.single_time,
+                p.threads,
+                p.multi_time,
+                p.speedup(),
+                if p.identical { "" } else { " [DIVERGED]" },
+                if p.verified { "" } else { " [UNVERIFIED]" },
+            ));
+        }
+        row
     }
 
     /// The table header matching [`TableRow::format`].
@@ -254,12 +373,41 @@ mod tests {
                 one_round: (40, 150, 0.5),
                 converged: (32, 160, 1.2, 3),
                 verified: true,
+                parallel: None,
             },
         };
         let s = row.format();
         assert!(s.contains("adder"));
         assert!(s.contains("96"));
         assert!(!s.contains("UNVERIFIED"));
+        assert!(!s.contains("par"));
         assert!(TableRow::header().contains("impr."));
+    }
+
+    #[test]
+    fn parallel_flow_compares_thread_counts_bit_identically() {
+        let mut x = Xag::new();
+        let a = input_word(&mut x, 6);
+        let b = input_word(&mut x, 6);
+        let (s, c) = add_ripple(&mut x, &a, &b, Signal::CONST0);
+        output_word(&mut x, &s);
+        x.output(c);
+        let mut ctx = OptContext::new();
+        let flow = run_flow_threads(&mut ctx, &x, 1, 30, 4);
+        let p = flow
+            .parallel
+            .clone()
+            .expect("threads > 1 must fill the comparison");
+        assert_eq!(p.threads, 4);
+        assert!(p.identical, "thread count changed the result");
+        assert!(p.verified);
+        assert!(p.speedup() > 0.0);
+        let row = TableRow {
+            name: "adder6".into(),
+            inputs: 12,
+            outputs: 7,
+            flow,
+        };
+        assert!(row.format().contains("par4:"));
     }
 }

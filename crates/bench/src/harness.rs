@@ -50,7 +50,15 @@ impl BenchGroup {
     }
 
     /// Measures `f`, printing one report line.
-    pub fn bench_function<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Self {
+    pub fn bench_function<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &mut Self {
+        let _ = self.bench_function_timed(name, f);
+        self
+    }
+
+    /// Measures `f` like [`BenchGroup::bench_function`] and returns the
+    /// median sample, so callers can derive ratios — e.g. the single- vs
+    /// multi-thread speedup lines of the parallel rewriting benches.
+    pub fn bench_function_timed<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Duration {
         let _ = std_black_box(f()); // warm-up, untimed
         let mut times: Vec<Duration> = (0..self.sample_size)
             .map(|_| {
@@ -71,7 +79,18 @@ impl BenchGroup {
             mean,
             times.len()
         );
-        self
+        median
+    }
+
+    /// Prints a derived ratio line (e.g. a parallel speedup) in the same
+    /// indentation as the measurement lines.
+    pub fn report_ratio(&mut self, name: &str, numerator: Duration, denominator: Duration) {
+        let ratio = if denominator.as_nanos() > 0 {
+            numerator.as_secs_f64() / denominator.as_secs_f64()
+        } else {
+            1.0
+        };
+        println!("  {:<32} {ratio:.2}x", format!("{}/{}", self.name, name));
     }
 
     /// Ends the group (parity with the criterion API; prints a blank

@@ -14,4 +14,7 @@
 pub mod experiment;
 pub mod harness;
 
-pub use experiment::{normalized_geomean, run_flow, run_flow_with, FlowResult, TableRow};
+pub use experiment::{
+    normalized_geomean, run_flow, run_flow_threads, run_flow_with, FlowResult, ParallelResult,
+    TableRow,
+};

@@ -30,7 +30,7 @@ use xag_tt::Tt;
 /// assert_eq!(frag.eval_tt(), maj);
 /// assert_eq!(ctx.db_size(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OptContext {
     classifier: AffineClassifier,
     synth: Synthesizer,
@@ -57,6 +57,34 @@ impl OptContext {
     /// Number of distinct representatives currently in the database.
     pub fn db_size(&self) -> usize {
         self.db.len()
+    }
+
+    /// Clones the context for a worker thread: the fork starts with all of
+    /// this context's memoized state, so representatives synthesized before
+    /// the parallel region stay amortized inside it.
+    ///
+    /// Classification and synthesis are deterministic, so a fork produces
+    /// the same candidate for the same cut function as its parent — cache
+    /// state only affects speed, never results (the invariant the
+    /// determinism tests pin down). Cache-hit statistics start at zero in
+    /// the fork, so absorbing it back adds only the fork's own work.
+    pub fn fork(&self) -> OptContext {
+        OptContext {
+            classifier: self.classifier.fork(),
+            synth: self.synth.fork(),
+            db: self.db.clone(),
+        }
+    }
+
+    /// Merges a fork's state back: database entries, classification cache,
+    /// and synthesis cache discovered by the worker are kept; entries the
+    /// parent already has win ties (they are equal anyway, by determinism).
+    pub fn absorb(&mut self, fork: OptContext) {
+        for (tt, frag) in fork.db {
+            self.db.entry(tt).or_insert(frag);
+        }
+        self.classifier.absorb(fork.classifier);
+        self.synth.absorb(fork.synth);
     }
 
     /// AND-gate counts of the database entries, as `(ands, entries)` pairs

@@ -10,14 +10,18 @@
 //!   networks.
 //! * [`Pass`] — one step of a flow: [`McRewrite`] (the paper's
 //!   Algorithm 1), [`SizeRewrite`] (the unit-cost ABC-baseline stand-in),
-//!   [`XorReduce`] (Paar linear-layer compression), and [`Cleanup`]
-//!   (arena compaction).
+//!   [`ParRewrite`] (sharded parallel rewriting with a fixed worker
+//!   count), [`XorReduce`] (Paar linear-layer compression), and
+//!   [`Cleanup`] (arena compaction).
 //! * [`Pipeline`] — ABC-script-style flow construction
 //!   ([`Pipeline::paper_flow`], [`Pipeline::compress`], or pass by pass
 //!   with [`Pipeline::add`]) with until-convergence repetition and
-//!   per-pass statistics.
+//!   per-pass statistics; [`Pipeline::run_parallel`] runs the same flow
+//!   on a worker pool through the sharded engine ([`shard`]), producing
+//!   bit-identical results for every thread count.
 //! * [`McOptimizer`] — a thin facade running [`Pipeline::paper_flow`]
-//!   with one call, for the common case.
+//!   with one call, for the common case ([`RewriteParams::threads`]
+//!   routes it through the parallel engine).
 //!
 //! One [`McRewrite`] round implements the paper's Algorithm 1 on top of
 //! the supporting crates:
@@ -99,13 +103,15 @@ mod context;
 mod cost;
 mod pass;
 mod pipeline;
+pub mod shard;
 mod stats;
 mod xor_reduce;
 
 pub use context::OptContext;
 pub use cost::{protocol_costs, ProtocolCosts};
-pub use pass::{Cleanup, McRewrite, Pass, PassStats, SizeRewrite, XorReduce};
+pub use pass::{Cleanup, McRewrite, ParRewrite, Pass, PassStats, SizeRewrite, XorReduce};
 pub use pipeline::{PassSummary, Pipeline, PipelineStats};
+pub use shard::{partition_windows, Shard};
 pub use stats::{RewriteStats, RoundStats};
 pub use xor_reduce::reduce_xors;
 
@@ -134,6 +140,11 @@ pub struct RewriteParams {
     /// Maximum number of rounds in [`McOptimizer::run_to_convergence`]
     /// (the paper observed convergence within 58 rounds on all benchmarks).
     pub max_rounds: usize,
+    /// Worker threads for the rewriting passes. `1` (the default) runs the
+    /// classic sequential rounds; `> 1` routes every round through the
+    /// sharded propose/commit engine ([`shard`]), whose result is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for RewriteParams {
@@ -144,6 +155,7 @@ impl Default for RewriteParams {
             classify_config: ClassifyConfig::default(),
             synth_config: SynthConfig::default(),
             max_rounds: 100,
+            threads: 1,
         }
     }
 }
@@ -217,9 +229,13 @@ impl McOptimizer {
     /// the configured cut size, smaller first (see
     /// [`Pipeline::paper_flow`] for why).
     pub fn run_to_convergence(&mut self, xag: &mut Xag) -> RewriteStats {
-        Pipeline::from_params(&self.params)
-            .run(xag, &mut self.ctx)
-            .into_rewrite_stats()
+        let flow = Pipeline::from_params(&self.params);
+        let stats = if self.params.threads > 1 {
+            flow.run_parallel(xag, &mut self.ctx, self.params.threads)
+        } else {
+            flow.run(xag, &mut self.ctx)
+        };
+        stats.into_rewrite_stats()
     }
 
     /// Algorithm 1 of the paper: build the replacement circuit for a cut

@@ -99,7 +99,24 @@ pub trait Pass {
 
     /// Runs the pass on `xag`.
     fn run(&self, xag: &mut Xag, ctx: &mut OptContext) -> PassStats;
+
+    /// Runs the pass with up to `threads` worker threads.
+    ///
+    /// The default falls back to the sequential [`Pass::run`]; the
+    /// rewriting passes override it with the sharded propose/commit engine
+    /// ([`crate::shard`]), whose result is bit-identical for every thread
+    /// count. Passes whose work is inherently serial (XOR reduction, arena
+    /// compaction) keep the fallback.
+    fn run_parallel(&self, xag: &mut Xag, ctx: &mut OptContext, threads: usize) -> PassStats {
+        let _ = threads;
+        self.run(xag, ctx)
+    }
 }
+
+/// Load-balancing seed of the parallel rewriting passes (the shard-claim
+/// shuffle). Fixed — never wall-clock — so parallel runs are reproducible;
+/// it cannot affect results, only scheduling (see [`crate::shard`]).
+pub(crate) const PAR_REWRITE_SEED: u64 = 0xDAC1_9DAC_19DA_C19D;
 
 /// One round of cut rewriting shared by [`McRewrite`] and [`SizeRewrite`]
 /// (and the [`crate::McOptimizer`] facade's `run_once`).
@@ -168,11 +185,8 @@ pub(crate) fn rewrite_round(
                 // the root itself, or substituting would create a cycle).
                 // Its freshly created nodes are referenced by nothing —
                 // reclaim everything above the pre-instantiation watermark
-                // (top-down, so fanin references cascade) instead of
-                // leaving garbage in the arena round after round.
-                for id in (watermark..xag.capacity()).rev() {
-                    xag.remove_dangling(id as xag_network::NodeId);
-                }
+                // instead of leaving garbage in the arena round after round.
+                xag.reclaim_above(watermark);
             }
         }
     }
@@ -248,6 +262,18 @@ impl Pass for McRewrite {
             &self.name,
         )
     }
+
+    fn run_parallel(&self, xag: &mut Xag, ctx: &mut OptContext, threads: usize) -> PassStats {
+        crate::shard::parallel_rewrite_round(
+            xag,
+            ctx,
+            &self.cut_params,
+            Objective::MultiplicativeComplexity,
+            threads,
+            PAR_REWRITE_SEED,
+            &self.name,
+        )
+    }
 }
 
 /// Cut rewriting with unit gate costs (AND and XOR both cost 1) — the
@@ -294,6 +320,101 @@ impl Pass for SizeRewrite {
 
     fn run(&self, xag: &mut Xag, ctx: &mut OptContext) -> PassStats {
         rewrite_round(xag, ctx, &self.cut_params, Objective::Size, &self.name)
+    }
+
+    fn run_parallel(&self, xag: &mut Xag, ctx: &mut OptContext, threads: usize) -> PassStats {
+        crate::shard::parallel_rewrite_round(
+            xag,
+            ctx,
+            &self.cut_params,
+            Objective::Size,
+            threads,
+            PAR_REWRITE_SEED,
+            &self.name,
+        )
+    }
+}
+
+/// Sharded parallel cut rewriting with a fixed worker count — the
+/// pass-object form of the [`crate::shard`] engine, for flows that want a
+/// parallel round regardless of how they are run.
+///
+/// Unlike [`McRewrite`]/[`SizeRewrite`] — which parallelize only under
+/// [`crate::Pipeline::run_parallel`] — this pass uses its own thread count
+/// even under a plain [`Pipeline::run`](crate::Pipeline::run) or
+/// [`Pass::run`]. Results are bit-identical for every thread count;
+/// `rewrites_applied` counts committed substitutions.
+#[derive(Debug, Clone)]
+pub struct ParRewrite {
+    cut_params: CutParams,
+    objective: Objective,
+    threads: usize,
+    seed: u64,
+    name: String,
+}
+
+impl ParRewrite {
+    /// MC-objective parallel rewriting with the paper's cut parameters.
+    pub fn new(threads: usize) -> Self {
+        Self::with_params(
+            CutParams::default(),
+            Objective::MultiplicativeComplexity,
+            threads,
+        )
+    }
+
+    /// Fully custom parameters.
+    pub fn with_params(cut_params: CutParams, objective: Objective, threads: usize) -> Self {
+        Self {
+            name: format!("par-rewrite<{}>x{}", cut_params.cut_size, threads.max(1)),
+            cut_params,
+            objective,
+            threads: threads.max(1),
+            seed: PAR_REWRITE_SEED,
+        }
+    }
+
+    /// Overrides the load-balancing seed (scheduling only; results are
+    /// seed-independent).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The worker count this pass runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Pass for ParRewrite {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, xag: &mut Xag, ctx: &mut OptContext) -> PassStats {
+        crate::shard::parallel_rewrite_round(
+            xag,
+            ctx,
+            &self.cut_params,
+            self.objective,
+            self.threads,
+            self.seed,
+            &self.name,
+        )
+    }
+
+    fn run_parallel(&self, xag: &mut Xag, ctx: &mut OptContext, threads: usize) -> PassStats {
+        crate::shard::parallel_rewrite_round(
+            xag,
+            ctx,
+            &self.cut_params,
+            self.objective,
+            threads.max(1),
+            self.seed,
+            &self.name,
+        )
     }
 }
 

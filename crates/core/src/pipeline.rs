@@ -204,6 +204,35 @@ impl Pipeline {
     /// paper's "repeat until convergence" loop with the small-cut-first
     /// schedule.
     pub fn run(&self, xag: &mut Xag, ctx: &mut OptContext) -> PipelineStats {
+        self.run_with_threads(xag, ctx, None)
+    }
+
+    /// [`Pipeline::run`] with up to `threads` worker threads per pass.
+    ///
+    /// Rewriting passes execute through the sharded propose/commit engine
+    /// (see [`crate::shard`]); passes without a parallel implementation
+    /// run sequentially. The convergence schedule is identical to
+    /// [`Pipeline::run`], and the optimized network is **bit-identical for
+    /// every thread count** — only wall-clock changes. Note that the
+    /// parallel engine's round semantics (propose against a frozen
+    /// snapshot, then commit) differ from the sequential in-place round,
+    /// so `run_parallel(.., 1)` and `run(..)` may converge to different —
+    /// equally valid — networks.
+    pub fn run_parallel(
+        &self,
+        xag: &mut Xag,
+        ctx: &mut OptContext,
+        threads: usize,
+    ) -> PipelineStats {
+        self.run_with_threads(xag, ctx, Some(threads.max(1)))
+    }
+
+    fn run_with_threads(
+        &self,
+        xag: &mut Xag,
+        ctx: &mut OptContext,
+        threads: Option<usize>,
+    ) -> PipelineStats {
         assert!(!self.passes.is_empty(), "cannot run an empty pipeline");
         let mut executed: Vec<PassStats> = Vec::new();
         let mut converged = false;
@@ -211,7 +240,10 @@ impl Pipeline {
         let mut stale = 0usize;
         while executed.len() < self.max_rounds {
             let pass = &self.passes[phase % self.passes.len()];
-            let stats = pass.run(xag, ctx);
+            let stats = match threads {
+                Some(t) => pass.run_parallel(xag, ctx, t),
+                None => pass.run(xag, ctx),
+            };
             let improved = stats.improved(self.metric);
             executed.push(stats);
             if improved {

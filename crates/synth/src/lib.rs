@@ -71,7 +71,7 @@ impl Default for SynthConfig {
 ///
 /// The cache plays the role of the paper's `XAG_DB`: each (pseudo-)
 /// representative is synthesized at most once per process.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Synthesizer {
     config: SynthConfig,
     cache: HashMap<Tt, XagFragment>,
@@ -104,6 +104,27 @@ impl Synthesizer {
     /// of the synthesized fragment).
     pub fn mc_upper_bound(&mut self, f: Tt) -> usize {
         self.synthesize(f).num_ands()
+    }
+
+    /// Clones the synthesizer for a worker thread, with statistics reset
+    /// (see [`AffineClassifier::fork`]).
+    pub fn fork(&self) -> Synthesizer {
+        Synthesizer {
+            config: self.config,
+            cache: self.cache.clone(),
+            classifier: self.classifier.fork(),
+        }
+    }
+
+    /// Merges a fork's cache into this one. Synthesis is deterministic, so
+    /// equal keys carry equal fragments and merge order does not matter;
+    /// existing entries are kept. Used to fold worker-local synthesizers
+    /// back into a shared one after a parallel rewriting round.
+    pub fn absorb(&mut self, other: Synthesizer) {
+        for (f, frag) in other.cache {
+            self.cache.entry(f).or_insert(frag);
+        }
+        self.classifier.absorb(other.classifier);
     }
 
     /// Synthesizes a fragment for a function of more than six variables by

@@ -1,12 +1,27 @@
 use crate::network::Xag;
 
+/// Hard input-count cap of [`equiv_exhaustive`]: above this, the `2^n`
+/// sweep is considered unreasonable no matter the caller's patience.
+pub const EXHAUSTIVE_MAX_INPUTS: usize = 24;
+
+/// Input count up to which [`equiv`] always prefers the exhaustive check,
+/// regardless of the requested random-simulation budget (a `2^16` sweep is
+/// cheap enough to be unconditional).
+pub const EXHAUSTIVE_DEFAULT_INPUTS: usize = 16;
+
 /// Checks combinational equivalence of two networks with identical I/O
 /// counts.
 ///
-/// Uses exhaustive simulation when the networks have at most 16 inputs and
-/// falls back to `rounds` rounds of 64 random vectors otherwise (a Monte
-/// Carlo check: it can prove inequivalence but only gives statistical
-/// evidence of equivalence).
+/// Uses exhaustive simulation (a proof) whenever it is no more expensive
+/// than the requested random budget: always for networks of at most
+/// [`EXHAUSTIVE_DEFAULT_INPUTS`] inputs, and in the 17–[`EXHAUSTIVE_MAX_INPUTS`]
+/// band whenever `2^n` test vectors do not exceed the `rounds × 64` random
+/// vectors the caller was willing to pay for. Otherwise falls back to
+/// `rounds` rounds of 64 random vectors (a Monte Carlo check: it can prove
+/// inequivalence but only gives statistical evidence of equivalence).
+///
+/// Callers that need a proof in the 17–24-input band regardless of budget
+/// should call [`equiv_exhaustive`] directly.
 ///
 /// # Panics
 ///
@@ -14,7 +29,11 @@ use crate::network::Xag;
 pub fn equiv(a: &Xag, b: &Xag, seed: u64, rounds: usize) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
-    if a.num_inputs() <= 16 {
+    let n = a.num_inputs();
+    let budget = (rounds as u64)
+        .saturating_mul(64)
+        .max(1 << EXHAUSTIVE_DEFAULT_INPUTS);
+    if n <= EXHAUSTIVE_MAX_INPUTS && (1u64 << n) <= budget {
         equiv_exhaustive(a, b)
     } else {
         equiv_random(a, b, seed, rounds)
@@ -25,13 +44,17 @@ pub fn equiv(a: &Xag, b: &Xag, seed: u64, rounds: usize) -> bool {
 ///
 /// # Panics
 ///
-/// Panics if the I/O counts differ or there are more than 24 inputs (the
-/// check would need more than `2^24` evaluations).
+/// Panics if the I/O counts differ or there are more than
+/// [`EXHAUSTIVE_MAX_INPUTS`] inputs (the check would need more than `2^24`
+/// evaluations).
 pub fn equiv_exhaustive(a: &Xag, b: &Xag) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
     let n = a.num_inputs();
-    assert!(n <= 24, "exhaustive check limited to 24 inputs");
+    assert!(
+        n <= EXHAUSTIVE_MAX_INPUTS,
+        "exhaustive check limited to {EXHAUSTIVE_MAX_INPUTS} inputs"
+    );
     // Simulate 64 minterms per word: input i pattern within a block of 64
     // minterms starting at base.
     let total: u64 = 1u64 << n;
@@ -150,6 +173,77 @@ mod tests {
         b.output(cout);
         assert!(!equiv_exhaustive(&a, &b));
         assert!(!equiv_random(&a, &b, 1, 8));
+    }
+
+    /// Parity chain over `n` inputs, folded in the given direction.
+    fn parity(n: usize, reversed: bool) -> Xag {
+        let mut x = Xag::new();
+        let mut ins: Vec<Signal> = (0..n).map(|_| x.input()).collect();
+        if reversed {
+            ins.reverse();
+        }
+        let mut acc = Signal::CONST0;
+        for &i in &ins {
+            acc = x.xor(acc, i);
+        }
+        x.output(acc);
+        x
+    }
+
+    /// `AND` of all `n` inputs vs constant zero: the two differ on exactly
+    /// one assignment (all ones), the adversarial case for sampling.
+    fn needle(n: usize, with_needle: bool) -> Xag {
+        let mut x = Xag::new();
+        let ins: Vec<Signal> = (0..n).map(|_| x.input()).collect();
+        let mut acc = Signal::CONST1;
+        for &i in &ins {
+            acc = x.and(acc, i);
+        }
+        x.output(if with_needle { acc } else { Signal::CONST0 });
+        x
+    }
+
+    #[test]
+    fn exhaustive_supports_the_17_to_24_input_band() {
+        for n in [17usize, 20, 24] {
+            assert!(
+                equiv_exhaustive(&parity(n, false), &parity(n, true)),
+                "{n} inputs"
+            );
+            assert!(
+                !equiv_exhaustive(&needle(n, true), &needle(n, false)),
+                "{n} inputs"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatcher_proves_band_networks_when_the_budget_allows() {
+        // 2^17 vectors = 2048 rounds of 64. With that budget the dispatcher
+        // must choose the exhaustive proof, which *always* finds the single
+        // distinguishing assignment — sampling would miss it with
+        // probability ~0.37 per run and some seed would eventually pass.
+        for seed in 0..16u64 {
+            assert!(
+                !equiv(&needle(17, true), &needle(17, false), seed, 2048),
+                "seed {seed}"
+            );
+        }
+        // Equivalence in the band is likewise proved, not sampled.
+        assert!(equiv(&parity(18, false), &parity(18, true), 3, 1 << 12));
+    }
+
+    #[test]
+    fn dispatcher_keeps_sampling_when_exhaustive_would_cost_more() {
+        // 25 inputs is beyond the exhaustive cap entirely; 64 rounds on a
+        // 17-input pair is far below the 2^17 sweep, so both stay random.
+        // The needle network demonstrates the (documented) sampling gap:
+        // a tiny budget cannot distinguish the single differing minterm.
+        assert!(equiv(&parity(25, false), &parity(25, true), 11, 32));
+        assert!(
+            equiv(&needle(17, true), &needle(17, false), 1, 1),
+            "1 round of sampling cannot see the needle — that is the documented trade-off"
+        );
     }
 
     #[test]

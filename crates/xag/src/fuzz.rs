@@ -1,0 +1,218 @@
+//! Seeded random-XAG generation for differential testing.
+//!
+//! The fuzz layer follows the sampler-testing idea: rather than trusting
+//! an optimizer because its unit tests pass, drive it with a stream of
+//! structurally diverse random networks and check every output against an
+//! equivalence oracle ([`crate::equiv`]). The generator is seeded by
+//! [`mc_rng`] — never wall-clock — so any failure replays from the seed in
+//! the log.
+//!
+//! [`FuzzConfig`] exposes the knobs that matter for rewriting coverage:
+//!
+//! * `gates` / `inputs` — overall size and width of the network;
+//! * `xor_ratio` — XOR-vs-AND mix (crypto circuits are XOR-heavy, control
+//!   logic AND-heavy; both regimes stress different database entries);
+//! * `depth_bias` — probability that an operand is drawn from the most
+//!   recent window of signals instead of uniformly, trading wide/shallow
+//!   networks for narrow/deep ones;
+//! * `complement_p` — probability of complementing an operand edge, which
+//!   exercises the normalization rules.
+//!
+//! # Examples
+//!
+//! ```
+//! use xag_network::fuzz::{random_xag, FuzzConfig};
+//!
+//! let cfg = FuzzConfig::default();
+//! let a = random_xag(&cfg, 42);
+//! let b = random_xag(&cfg, 42);
+//! assert_eq!(a.num_gates(), b.num_gates()); // same seed, same network
+//! assert_eq!(a.num_inputs(), cfg.inputs);
+//! assert_eq!(a.num_outputs(), cfg.outputs);
+//! ```
+
+use mc_rng::Rng;
+
+use crate::network::Xag;
+use crate::signal::Signal;
+
+/// Shape knobs for [`random_xag`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of gate-construction attempts. The final gate count is
+    /// usually lower: attempts that constant-fold or hash into an existing
+    /// gate do not allocate.
+    pub gates: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Probability that a gate is a XOR (otherwise an AND).
+    pub xor_ratio: f64,
+    /// Probability that an operand is drawn from the most recent
+    /// `recency_window` signals instead of the whole pool — higher values
+    /// produce deeper, narrower networks.
+    pub depth_bias: f64,
+    /// Size of the recency window `depth_bias` draws from.
+    pub recency_window: usize,
+    /// Probability of complementing each operand edge.
+    pub complement_p: f64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            inputs: 6,
+            gates: 40,
+            outputs: 4,
+            xor_ratio: 0.5,
+            depth_bias: 0.5,
+            recency_window: 8,
+            complement_p: 0.25,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// An XOR-heavy configuration resembling linear-layer-dominated crypto
+    /// logic.
+    pub fn xor_heavy() -> Self {
+        Self {
+            xor_ratio: 0.8,
+            gates: 60,
+            ..Self::default()
+        }
+    }
+
+    /// An AND-heavy, deep configuration resembling control logic.
+    pub fn and_heavy() -> Self {
+        Self {
+            xor_ratio: 0.25,
+            depth_bias: 0.75,
+            gates: 50,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a random XAG from a seed. Equal `(config, seed)` pairs
+/// produce identical networks, on every platform, forever.
+///
+/// The network has exactly `config.inputs` primary inputs and
+/// `config.outputs` primary outputs; outputs are drawn with the same
+/// recency bias as operands, so deep cones are usually observable.
+///
+/// # Panics
+///
+/// Panics if `config.inputs == 0` or `config.outputs == 0`.
+pub fn random_xag(config: &FuzzConfig, seed: u64) -> Xag {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.outputs > 0, "need at least one output");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut xag = Xag::new();
+    let mut pool: Vec<Signal> = (0..config.inputs).map(|_| xag.input()).collect();
+
+    let pick = |rng: &mut Rng, pool: &[Signal]| -> Signal {
+        let window = config.recency_window.max(1).min(pool.len());
+        let idx = if rng.gen_bool(config.depth_bias) {
+            pool.len() - window + rng.gen_range(0..window)
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        pool[idx] ^ rng.gen_bool(config.complement_p)
+    };
+
+    for _ in 0..config.gates {
+        let a = pick(&mut rng, &pool);
+        let b = pick(&mut rng, &pool);
+        let s = if rng.gen_bool(config.xor_ratio) {
+            xag.xor(a, b)
+        } else {
+            xag.and(a, b)
+        };
+        pool.push(s);
+    }
+    for _ in 0..config.outputs {
+        let s = pick(&mut rng, &pool);
+        xag.output(s);
+    }
+    xag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_network() {
+        let cfg = FuzzConfig::default();
+        for seed in 0..20u64 {
+            let a = random_xag(&cfg, seed);
+            let b = random_xag(&cfg, seed);
+            assert_eq!(a.num_gates(), b.num_gates());
+            assert_eq!(a.num_ands(), b.num_ands());
+            let words: Vec<u64> = (0..cfg.inputs as u64)
+                .map(|i| i.wrapping_mul(0x9e37))
+                .collect();
+            assert_eq!(a.simulate(&words), b.simulate(&words), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = FuzzConfig::default();
+        let counts: Vec<usize> = (0..10).map(|s| random_xag(&cfg, s).num_gates()).collect();
+        assert!(
+            counts.iter().any(|&c| c != counts[0]),
+            "ten seeds produced identical gate counts: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn io_counts_are_exact() {
+        for cfg in [
+            FuzzConfig::default(),
+            FuzzConfig::xor_heavy(),
+            FuzzConfig::and_heavy(),
+        ] {
+            let x = random_xag(&cfg, 7);
+            assert_eq!(x.num_inputs(), cfg.inputs);
+            assert_eq!(x.num_outputs(), cfg.outputs);
+        }
+    }
+
+    #[test]
+    fn xor_ratio_shifts_the_gate_mix() {
+        let xor_heavy: usize = (0..10)
+            .map(|s| random_xag(&FuzzConfig::xor_heavy(), s).num_xors())
+            .sum();
+        let and_heavy: usize = (0..10)
+            .map(|s| random_xag(&FuzzConfig::and_heavy(), s).num_xors())
+            .sum();
+        assert!(
+            xor_heavy > and_heavy,
+            "xor-heavy config produced fewer XORs ({xor_heavy}) than and-heavy ({and_heavy})"
+        );
+    }
+
+    #[test]
+    fn depth_bias_deepens_networks() {
+        let deep_cfg = FuzzConfig {
+            depth_bias: 0.95,
+            recency_window: 2,
+            xor_ratio: 0.0,
+            complement_p: 0.0,
+            ..FuzzConfig::default()
+        };
+        let wide_cfg = FuzzConfig {
+            depth_bias: 0.0,
+            ..deep_cfg
+        };
+        let deep: usize = (0..10).map(|s| random_xag(&deep_cfg, s).and_depth()).sum();
+        let wide: usize = (0..10).map(|s| random_xag(&wide_cfg, s).and_depth()).sum();
+        assert!(
+            deep > wide,
+            "depth bias did not deepen networks (deep {deep} vs wide {wide})"
+        );
+    }
+}

@@ -48,13 +48,17 @@
 pub mod bristol;
 mod equiv;
 mod fragment;
+pub mod fuzz;
 mod network;
 mod signal;
 mod verilog;
 
 pub use bristol::{read_bristol, write_bristol, ParseBristolError};
-pub use equiv::{equiv, equiv_exhaustive, equiv_random};
+pub use equiv::{
+    equiv, equiv_exhaustive, equiv_random, EXHAUSTIVE_DEFAULT_INPUTS, EXHAUSTIVE_MAX_INPUTS,
+};
 pub use fragment::{FragRef, FragmentGate, XagFragment};
+pub use fuzz::{random_xag, FuzzConfig};
 pub use network::{NodeId, NodeKind, Xag};
 pub use signal::Signal;
-pub use verilog::write_verilog;
+pub use verilog::{read_verilog, write_verilog, ParseVerilogError};

@@ -508,6 +508,21 @@ impl Xag {
         }
     }
 
+    /// Removes every dangling gate allocated at or above `watermark`
+    /// (typically a [`Xag::capacity`] value recorded before instantiating a
+    /// rewrite candidate), top-down so fanin references cascade.
+    ///
+    /// This is the shard-local reclamation primitive of the parallel
+    /// rewriting engine: each commit records the arena watermark before
+    /// instantiating a candidate and rolls back to it when the candidate is
+    /// rejected, so rejected rewrites never leak nodes — regardless of
+    /// which shard proposed them.
+    pub fn reclaim_above(&mut self, watermark: usize) {
+        for id in (watermark..self.capacity()).rev() {
+            self.remove_dangling(id as NodeId);
+        }
+    }
+
     /// True iff node `target` lies in the transitive fanin cone of `of`.
     pub fn is_in_tfi(&self, target: NodeId, of: Signal) -> bool {
         let mut seen = vec![false; self.nodes.len()];

@@ -1,12 +1,14 @@
-//! Structural Verilog export.
+//! Structural Verilog export and (round-trip) import.
 //!
-//! Writes an XAG as a flat gate-level Verilog module using only `assign`
-//! statements with `&`, `^` and `~` — importable by any EDA tool or
-//! simulator. Complemented edges become inline `~` operators, so the
-//! emitted netlist has exactly one `assign` per live gate.
+//! [`write_verilog`] writes an XAG as a flat gate-level Verilog module
+//! using only `assign` statements with `&`, `^` and `~` — importable by
+//! any EDA tool or simulator. Complemented edges become inline `~`
+//! operators, so the emitted netlist has exactly one `assign` per live
+//! gate. [`read_verilog`] parses that structural subset back, closing the
+//! export → reimport → [`crate::equiv`] loop the round-trip tests rely on.
 
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::network::{NodeKind, Xag};
 use crate::signal::Signal;
@@ -107,9 +109,170 @@ pub fn write_verilog<W: Write>(xag: &Xag, name: &str, mut writer: W) -> std::io:
     Ok(())
 }
 
+/// Error produced when parsing a structural Verilog file.
+#[derive(Debug)]
+pub enum ParseVerilogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntactic or structural problem, with a human-readable description.
+    Malformed(String),
+}
+
+impl core::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseVerilogError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseVerilogError::Malformed(m) => write!(f, "malformed verilog netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseVerilogError::Io(e) => Some(e),
+            ParseVerilogError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseVerilogError {
+    fn from(e: std::io::Error) -> Self {
+        ParseVerilogError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ParseVerilogError {
+    ParseVerilogError::Malformed(msg.into())
+}
+
+/// Reads a structural Verilog module of the subset [`write_verilog`]
+/// emits: single-bit `input`/`output`/`wire` declarations and `assign`
+/// statements whose right-hand side is a literal (`1'b0`/`1'b1`), an
+/// optionally `~`-complemented name, or a binary `&`/`^` of two such
+/// operands.
+///
+/// Inputs become primary inputs in declaration order; outputs become
+/// primary outputs in declaration order. Assignments must appear in
+/// topological order (every name used has been defined), which
+/// [`write_verilog`] guarantees.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on I/O failure, unsupported syntax,
+/// redefined wires, use of undefined names, or missing output drivers.
+pub fn read_verilog<R: Read>(reader: R) -> Result<Xag, ParseVerilogError> {
+    let mut xag = Xag::new();
+    let mut signals: HashMap<String, Signal> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut saw_module = false;
+    let mut saw_endmodule = false;
+
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module") {
+            if saw_module {
+                return Err(malformed("multiple module headers"));
+            }
+            if !rest.trim_end().ends_with(");") {
+                return Err(malformed("unterminated module header"));
+            }
+            saw_module = true;
+            continue;
+        }
+        if stmt == "endmodule" {
+            saw_endmodule = true;
+            continue;
+        }
+        if !saw_module {
+            return Err(malformed(format!("statement before module header: {stmt}")));
+        }
+        if saw_endmodule {
+            return Err(malformed(format!("statement after endmodule: {stmt}")));
+        }
+        let stmt = stmt
+            .strip_suffix(';')
+            .ok_or_else(|| malformed(format!("missing semicolon: {stmt}")))?;
+        if let Some(names) = stmt.strip_prefix("input ") {
+            for name in names.split(',').map(str::trim) {
+                if name.is_empty() {
+                    return Err(malformed("empty input name"));
+                }
+                let s = xag.input();
+                if signals.insert(name.to_string(), s).is_some() {
+                    return Err(malformed(format!("redefined name: {name}")));
+                }
+            }
+        } else if let Some(names) = stmt.strip_prefix("output ") {
+            for name in names.split(',').map(str::trim) {
+                if name.is_empty() {
+                    return Err(malformed("empty output name"));
+                }
+                outputs.push(name.to_string());
+            }
+        } else if let Some(names) = stmt.strip_prefix("wire ") {
+            // Declarations only; wires are defined by their assign.
+            for name in names.split(',').map(str::trim) {
+                if name.is_empty() {
+                    return Err(malformed("empty wire name"));
+                }
+            }
+        } else if let Some(rest) = stmt.strip_prefix("assign ") {
+            let (lhs, rhs) = rest
+                .split_once('=')
+                .ok_or_else(|| malformed(format!("assign without '=': {rest}")))?;
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            let operand = |tok: &str| -> Result<Signal, ParseVerilogError> {
+                let (tok, compl) = match tok.strip_prefix('~') {
+                    Some(t) => (t.trim(), true),
+                    None => (tok, false),
+                };
+                let s = match tok {
+                    "1'b0" => Signal::CONST0,
+                    "1'b1" => Signal::CONST1,
+                    name => *signals
+                        .get(name)
+                        .ok_or_else(|| malformed(format!("undefined name: {name}")))?,
+                };
+                Ok(s ^ compl)
+            };
+            let value = if let Some((a, b)) = rhs.split_once('&') {
+                let (a, b) = (operand(a.trim())?, operand(b.trim())?);
+                xag.and(a, b)
+            } else if let Some((a, b)) = rhs.split_once('^') {
+                let (a, b) = (operand(a.trim())?, operand(b.trim())?);
+                xag.xor(a, b)
+            } else {
+                operand(rhs)?
+            };
+            if signals.insert(lhs.to_string(), value).is_some() {
+                return Err(malformed(format!("redefined name: {lhs}")));
+            }
+        } else {
+            return Err(malformed(format!("unsupported statement: {stmt}")));
+        }
+    }
+    if !saw_module || !saw_endmodule {
+        return Err(malformed("missing module/endmodule"));
+    }
+    for name in &outputs {
+        let s = *signals
+            .get(name)
+            .ok_or_else(|| malformed(format!("output {name} never assigned")))?;
+        xag.output(s);
+    }
+    Ok(xag)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equiv::equiv_exhaustive;
 
     #[test]
     fn full_adder_netlist_structure() {
@@ -146,5 +309,42 @@ mod tests {
         let v = String::from_utf8(buf).expect("utf8");
         assert!(v.contains("assign o0 = i0;"));
         assert!(!v.contains("wire"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_and_io() {
+        let mut x = Xag::new();
+        let a = x.input();
+        let b = x.input();
+        let c = x.input();
+        let m = x.maj(a, b, c);
+        let t = x.xor(a, !b);
+        let s = x.and(t, c);
+        x.output(s);
+        x.output(!m);
+        x.output(Signal::CONST1);
+        let mut buf = Vec::new();
+        write_verilog(&x, "rt", &mut buf).expect("write");
+        let back = read_verilog(buf.as_slice()).expect("parse");
+        assert_eq!(back.num_inputs(), x.num_inputs());
+        assert_eq!(back.num_outputs(), x.num_outputs());
+        assert!(equiv_exhaustive(&x, &back));
+        // Strashing on re-read cannot create more gates than were printed.
+        assert!(back.num_gates() <= x.num_gates());
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read_verilog("".as_bytes()).is_err());
+        assert!(read_verilog("module m (a);\n  input a;\n".as_bytes()).is_err());
+        assert!(read_verilog(
+            "module m (a, o0);\n  input a;\n  output o0;\n  assign o0 = undef;\nendmodule\n"
+                .as_bytes()
+        )
+        .is_err());
+        assert!(
+            read_verilog("module m (o0);\n  output o0;\nendmodule\n".as_bytes()).is_err(),
+            "undriven output"
+        );
     }
 }

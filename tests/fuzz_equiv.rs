@@ -1,0 +1,102 @@
+//! Differential fuzzing of every optimization flow.
+//!
+//! In the spirit of sampler-testing oracles: instead of trusting the
+//! rewriting engine because its unit tests pass, drive every `Pipeline`
+//! flow — sequential and parallel — with a stream of seeded random
+//! networks and check each result against the `equiv` oracle. All
+//! networks stay within the exhaustive range of the oracle, so a pass
+//! here is a proof of functional preservation for every generated case,
+//! not a statistical argument.
+//!
+//! The seed is fixed (override with `MC_FUZZ_SEED=<n>` for exploration),
+//! so a failure in CI replays locally from the log.
+
+use mc_repro::mc::{Cleanup, McRewrite, OptContext, ParRewrite, Pipeline, XorReduce};
+use mc_repro::network::fuzz::{random_xag, FuzzConfig};
+use mc_repro::network::{equiv_exhaustive, Xag};
+
+/// Default base seed of the differential suite.
+const FUZZ_SEED: u64 = 0xDAC1_9F02;
+
+/// Networks per flow; with four flows this exercises ~200 optimizations.
+const NETWORKS_PER_FLOW: usize = 50;
+
+fn base_seed() -> u64 {
+    std::env::var("MC_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(FUZZ_SEED)
+}
+
+/// Cycles through the three generator shapes so every flow sees
+/// XOR-heavy, AND-heavy, and mixed networks.
+fn network(seed: u64) -> Xag {
+    let cfg = match seed % 3 {
+        0 => FuzzConfig::default(),
+        1 => FuzzConfig::xor_heavy(),
+        _ => FuzzConfig::and_heavy(),
+    };
+    random_xag(&cfg, seed)
+}
+
+fn check_flow(name: &str, make_flow: impl Fn() -> Pipeline, parallel_threads: Option<usize>) {
+    let mut ctx = OptContext::new();
+    let flow = make_flow();
+    let base = base_seed();
+    for i in 0..NETWORKS_PER_FLOW {
+        let seed = base.wrapping_add(i as u64);
+        let mut xag = network(seed);
+        let reference = xag.cleanup();
+        match parallel_threads {
+            Some(t) => flow.run_parallel(&mut xag, &mut ctx, t),
+            None => flow.run(&mut xag, &mut ctx),
+        };
+        assert!(
+            equiv_exhaustive(&reference, &xag.cleanup()),
+            "flow {name} broke equivalence on fuzz seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn paper_flow_preserves_function_on_random_networks() {
+    check_flow("paper", Pipeline::paper_flow, None);
+}
+
+#[test]
+fn compress_flow_preserves_function_on_random_networks() {
+    check_flow("compress", Pipeline::compress, None);
+}
+
+#[test]
+fn custom_flow_preserves_function_on_random_networks() {
+    check_flow(
+        "custom",
+        || {
+            Pipeline::new()
+                .add(McRewrite::with_cut_size(4))
+                .add(XorReduce::new())
+                .add(Cleanup::new())
+        },
+        None,
+    );
+}
+
+#[test]
+fn parallel_paper_flow_preserves_function_on_random_networks() {
+    check_flow("paper(3 threads)", Pipeline::paper_flow, Some(3));
+}
+
+#[test]
+fn parallel_pass_flow_preserves_function_on_random_networks() {
+    check_flow(
+        "par-rewrite pass",
+        || {
+            Pipeline::new()
+                .add(ParRewrite::new(2))
+                .add(XorReduce::new())
+                .add(Cleanup::new())
+        },
+        None,
+    );
+}
