@@ -8,13 +8,17 @@
 //! histogram per classified function, and the AND-gate histogram of the
 //! distinct database entries.
 //!
-//! Usage: `cargo run --release -p xag-bench --bin db_stats [samples] [--threads N]`
+//! Usage: `cargo run --release -p xag-bench --bin db_stats [samples] [--threads N] [--json PATH]`
 //!
 //! With `--threads N` the random sample is classified on `N` workers with
 //! forked contexts that are absorbed back afterwards — the same
 //! fork/absorb protocol the parallel rewriting engine uses, so the final
-//! database is identical to a sequential run's.
+//! database is identical to a sequential run's. With `--json PATH` one
+//! record is written: `size_before` is the number of functions
+//! classified, `size_after` the resulting database entry count (the
+//! depth/mc fields do not apply to this tool and are 0).
 
+use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
 use xag_mc::OptContext;
 use xag_tt::Tt;
 
@@ -48,6 +52,7 @@ fn main() {
         .max(1);
 
     let mut ctx = OptContext::new();
+    let t0 = std::time::Instant::now();
 
     // Exhaustive over ≤3-variable functions, then pseudo-random wider ones.
     let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
@@ -114,4 +119,20 @@ fn main() {
          2 339 563-node XAG; this database is lazy, so it only holds what \
          the run touched)"
     );
+    if let Some(path) = json_path_from_args(&args) {
+        let record = BenchRecord {
+            bench: "db_stats".to_string(),
+            name: format!("classify-{samples}"),
+            size_before: 256 + samples,
+            size_after: ctx.db_size(),
+            depth_before: 0,
+            depth_after: 0,
+            mc_before: 0,
+            mc_after: 0,
+            wall_s: t0.elapsed().as_secs_f64(),
+            threads,
+        };
+        write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
+        println!("wrote 1 record to {}", path.display());
+    }
 }

@@ -1,10 +1,12 @@
 //! Developer tool: trace per-round AND counts while optimizing a ripple
 //! adder through the pass pipeline, to inspect convergence behaviour.
 //!
-//! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars] [threads]`
+//! Usage: `debug_adder [bits] [cut_limit] [cut_size] [exact_vars] [threads] [--json PATH]`
 //!
 //! With `threads > 1` the flow runs through the sharded parallel engine.
+//! With `--json PATH` one before/after record of the run is written.
 
+use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
 use xag_circuits::arith::{add_ripple, input_word, output_word};
 use xag_mc::{OptContext, Pipeline, RewriteParams};
 use xag_network::{Signal, Xag};
@@ -29,6 +31,7 @@ fn main() {
     output_word(&mut x, &s);
     x.output(c);
     println!("initial: {} AND {} XOR", x.num_ands(), x.num_xors());
+    let (size_before, depth_before, mc_before) = (x.num_gates(), x.and_depth(), x.num_ands());
 
     let mut params = RewriteParams::default();
     params.cut_params.cut_limit = cut_limit;
@@ -59,4 +62,21 @@ fn main() {
         );
     }
     println!("final: {} AND {} XOR ({stats})", x.num_ands(), x.num_xors());
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(path) = json_path_from_args(&argv) {
+        let record = BenchRecord {
+            bench: "debug_adder".to_string(),
+            name: format!("adder{bits}"),
+            size_before,
+            size_after: x.num_gates(),
+            depth_before,
+            depth_after: x.and_depth(),
+            mc_before,
+            mc_after: x.num_ands(),
+            wall_s: stats.total_time().as_secs_f64(),
+            threads,
+        };
+        write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
+        println!("wrote 1 record to {}", path.display());
+    }
 }

@@ -5,9 +5,12 @@
 //! then [`McRewrite`] rounds — over one shared [`OptContext`], mirroring
 //! what `run_flow` composes into pipelines.
 //!
-//! Usage: `debug_bench [name] [--threads N]` — with `--threads N` each
-//! round runs through the sharded parallel engine.
+//! Usage: `debug_bench [name] [--threads N] [--json PATH]` — with
+//! `--threads N` each round runs through the sharded parallel engine;
+//! with `--json PATH` one before/after record of the whole phase trace
+//! is written.
 
+use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
 use xag_circuits::epfl::{epfl_suite, Scale};
 use xag_mc::{McRewrite, OptContext, Pass, SizeRewrite};
 
@@ -36,6 +39,8 @@ fn main() {
         xag.num_xors(),
         xag.capacity()
     );
+    let (size_before, depth_before, mc_before) = (xag.num_gates(), xag.and_depth(), xag.num_ands());
+    let t0 = std::time::Instant::now();
     let mut ctx = OptContext::new();
     println!("— size baseline —");
     let size_pass = SizeRewrite::new();
@@ -60,5 +65,21 @@ fn main() {
         if s.rewrites_applied == 0 {
             break;
         }
+    }
+    if let Some(path) = json_path_from_args(&args) {
+        let record = BenchRecord {
+            bench: "debug_bench".to_string(),
+            name: name.clone(),
+            size_before,
+            size_after: xag.num_gates(),
+            depth_before,
+            depth_after: xag.and_depth(),
+            mc_before,
+            mc_after: xag.num_ands(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            threads,
+        };
+        write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
+        println!("wrote 1 record to {}", path.display());
     }
 }

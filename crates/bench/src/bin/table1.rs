@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p xag-bench --bin table1 [--full] [--threads N]
+//! cargo run --release -p xag-bench --bin table1 [--full] [--threads N] [--json PATH]
 //! ```
 //!
 //! Without `--full` the suite runs at reduced word widths (seconds instead
@@ -11,9 +11,14 @@
 //! more than random-control ones — is preserved at either scale. With
 //! `--threads N` every row additionally runs the sharded parallel engine
 //! with one and with `N` workers and reports the (bit-identical) result
-//! and the wall-clock speedup.
+//! and the wall-clock speedup. With `--json PATH` a machine-readable
+//! record per row (counts/depth before vs after convergence, wall time,
+//! threads) is written alongside the printed table.
 
-use xag_bench::{normalized_geomean, run_flow_threads, TableRow};
+use xag_bench::{
+    json_path_from_args, normalized_geomean, run_flow_threads, write_bench_json, BenchRecord,
+    TableRow,
+};
 use xag_circuits::epfl::{epfl_suite, Scale};
 use xag_mc::OptContext;
 
@@ -42,11 +47,24 @@ fn main() {
     // benchmark are reused by every later one.
     let mut ctx = OptContext::new();
     let mut speedups = Vec::new();
+    let mut records = Vec::new();
     for bench in epfl_suite(scale) {
         let flow = run_flow_threads(&mut ctx, &bench.xag, 2, max_rounds, threads);
         if let Some(p) = &flow.parallel {
             speedups.push(p.speedup());
         }
+        records.push(BenchRecord {
+            bench: "table1".to_string(),
+            name: bench.name.to_string(),
+            size_before: bench.xag.num_gates(),
+            size_after: flow.optimized.num_gates(),
+            depth_before: bench.xag.and_depth(),
+            depth_after: flow.optimized.and_depth(),
+            mc_before: bench.xag.num_ands(),
+            mc_after: flow.converged.0,
+            wall_s: flow.converged.2,
+            threads,
+        });
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),
@@ -79,5 +97,9 @@ fn main() {
     if !speedups.is_empty() {
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
         println!("Mean parallel speedup at {threads} threads: {mean:.2}x");
+    }
+    if let Some(path) = json_path_from_args(&args) {
+        write_bench_json(&path, &records).expect("write --json output");
+        println!("wrote {} records to {}", records.len(), path.display());
     }
 }

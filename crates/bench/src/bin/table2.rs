@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p xag-bench --bin table2 [--heavy] [--rounds N] [--threads N]
+//! cargo run --release -p xag-bench --bin table2 [--heavy] [--rounds N] [--threads N] [--json PATH]
 //! ```
 //!
 //! Without `--heavy` only the arithmetic rows run (adders, multiplier,
@@ -12,9 +12,14 @@
 //! those (default 3; the paper let them run to full convergence on a Xeon,
 //! spending hours on SHA-256). With `--threads N` every row additionally
 //! runs the sharded parallel engine with one and with `N` workers and
-//! reports the (bit-identical) result and the wall-clock speedup.
+//! reports the (bit-identical) result and the wall-clock speedup. With
+//! `--json PATH` a machine-readable record per row is written alongside
+//! the printed table.
 
-use xag_bench::{normalized_geomean, run_flow_threads, TableRow};
+use xag_bench::{
+    json_path_from_args, normalized_geomean, run_flow_threads, write_bench_json, BenchRecord,
+    TableRow,
+};
 use xag_circuits::mpc::mpc_suite;
 use xag_mc::OptContext;
 
@@ -44,6 +49,7 @@ fn main() {
     // benchmark are reused by every later one.
     let mut ctx = OptContext::new();
     let mut speedups = Vec::new();
+    let mut records = Vec::new();
     for bench in mpc_suite(heavy) {
         // The published MPC circuits are already size-optimized, so no
         // baseline pass; heavy entries get a capped convergence loop.
@@ -52,6 +58,18 @@ fn main() {
         if let Some(p) = &flow.parallel {
             speedups.push(p.speedup());
         }
+        records.push(BenchRecord {
+            bench: "table2".to_string(),
+            name: bench.name.to_string(),
+            size_before: bench.xag.num_gates(),
+            size_after: flow.optimized.num_gates(),
+            depth_before: bench.xag.and_depth(),
+            depth_after: flow.optimized.and_depth(),
+            mc_before: bench.xag.num_ands(),
+            mc_after: flow.converged.0,
+            wall_s: flow.converged.2,
+            threads,
+        });
         let row = TableRow {
             name: bench.name.to_string(),
             inputs: bench.xag.num_inputs(),
@@ -72,6 +90,10 @@ fn main() {
     if !speedups.is_empty() {
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
         println!("Mean parallel speedup at {threads} threads: {mean:.2}x");
+    }
+    if let Some(path) = json_path_from_args(&args) {
+        write_bench_json(&path, &records).expect("write --json output");
+        println!("wrote {} records to {}", records.len(), path.display());
     }
     if !heavy {
         println!("(run with --heavy to include AES, DES, MD5, SHA-1, SHA-256)");

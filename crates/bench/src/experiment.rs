@@ -26,6 +26,10 @@ pub struct FlowResult {
     /// True if the post-optimization network was checked equivalent to the
     /// input (exhaustively ≤ 16 inputs, by random simulation otherwise).
     pub verified: bool,
+    /// The converged network (cleaned), so callers can derive metrics the
+    /// count columns do not carry — total size, multiplicative depth —
+    /// e.g. for the `--json` records of the bench binaries.
+    pub optimized: Xag,
     /// The parallel-engine comparison, present when the flow ran with
     /// `threads > 1` (see [`run_flow_threads`]).
     pub parallel: Option<ParallelResult>,
@@ -218,6 +222,7 @@ pub fn run_flow_with(
         one_round,
         converged,
         verified,
+        optimized: conv_clean,
         parallel: None,
     }
 }
@@ -373,6 +378,7 @@ mod tests {
                 one_round: (40, 150, 0.5),
                 converged: (32, 160, 1.2, 3),
                 verified: true,
+                optimized: Xag::new(),
                 parallel: None,
             },
         };

@@ -6,13 +6,23 @@
 //! runs once for warm-up and then `sample_size` timed iterations; the
 //! report prints min / median / mean wall-clock times.
 //!
+//! The module also hosts the machine-readable side of the experiment
+//! binaries: every bench bin accepts `--json <path>`
+//! ([`json_path_from_args`]) and emits `BENCH_*.json`-style records
+//! ([`BenchRecord`], [`write_bench_json`]) so the perf trajectory across
+//! PRs can be consumed by tooling instead of scraped from tables.
+//!
 //! Environment knobs:
 //!
 //! * `MC_BENCH_SAMPLES` — overrides every group's sample size (e.g. `=3`
 //!   for a smoke run).
 
 use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+use mc_serve::json::Json;
 
 /// Opaque-value barrier, re-exported so bench targets don't reach into
 /// `std::hint` themselves.
@@ -100,6 +110,79 @@ impl BenchGroup {
     }
 }
 
+/// One machine-readable benchmark record: the metrics every experiment
+/// binary can report uniformly (gate counts are totals, `mc_*` is the
+/// AND count — the paper's objective — and `depth_*` the multiplicative
+/// depth). Binaries for which a field is meaningless write 0 and say so
+/// in their docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The emitting binary (`table1`, `serve_bench`, …).
+    pub bench: String,
+    /// The row within the binary (benchmark name, phase, …).
+    pub name: String,
+    /// Total gates before optimization.
+    pub size_before: usize,
+    /// Total gates after optimization.
+    pub size_after: usize,
+    /// Multiplicative depth before optimization.
+    pub depth_before: usize,
+    /// Multiplicative depth after optimization.
+    pub depth_after: usize,
+    /// AND gates (multiplicative complexity) before optimization.
+    pub mc_before: usize,
+    /// AND gates after optimization.
+    pub mc_after: usize,
+    /// Wall-clock seconds of the measured work.
+    pub wall_s: f64,
+    /// Worker threads (or concurrent clients, for load benches) used.
+    pub threads: usize,
+}
+
+/// Extracts the `--json <path>` argument the five experiment binaries
+/// share; `None` when absent.
+pub fn json_path_from_args(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".to_string(), Json::from(self.bench.as_str())),
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("size_before".to_string(), Json::from(self.size_before)),
+            ("size_after".to_string(), Json::from(self.size_after)),
+            ("depth_before".to_string(), Json::from(self.depth_before)),
+            ("depth_after".to_string(), Json::from(self.depth_after)),
+            ("mc_before".to_string(), Json::from(self.mc_before)),
+            ("mc_after".to_string(), Json::from(self.mc_after)),
+            ("wall_s".to_string(), Json::from(self.wall_s)),
+            ("threads".to_string(), Json::from(self.threads)),
+        ])
+    }
+}
+
+/// Writes the records as a JSON array of objects (the `BENCH_*.json`
+/// shape), one record per line for diff-friendliness. Serialization goes
+/// through [`mc_serve::json`] — the workspace's one JSON writer.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_bench_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(file, "  {}{sep}", r.to_json().encode())?;
+    }
+    writeln!(file, "]")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +199,59 @@ mod tests {
         // 1 warm-up + 2 samples.
         assert_eq!(calls, 3);
         g.finish();
+    }
+
+    #[test]
+    fn json_arg_extraction() {
+        let args: Vec<String> = ["table1", "--threads", "4", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(json_path_from_args(&args), Some(PathBuf::from("out.json")));
+        assert_eq!(json_path_from_args(&args[..3]), None);
+        let dangling: Vec<String> = vec!["--json".to_string()];
+        assert_eq!(json_path_from_args(&dangling), None);
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_complete() {
+        let dir = std::env::temp_dir().join(format!("mc-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json");
+        let records = vec![
+            BenchRecord {
+                bench: "table1".to_string(),
+                name: "adder \"quoted\"".to_string(),
+                size_before: 160,
+                size_after: 120,
+                depth_before: 32,
+                depth_after: 30,
+                mc_before: 94,
+                mc_after: 32,
+                wall_s: 1.25,
+                threads: 4,
+            },
+            BenchRecord {
+                bench: "table1".to_string(),
+                name: "bar".to_string(),
+                size_before: 1,
+                size_after: 1,
+                depth_before: 0,
+                depth_after: 0,
+                mc_before: 0,
+                mc_after: 0,
+                wall_s: 0.0,
+                threads: 1,
+            },
+        ];
+        write_bench_json(&path, &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"bench\"").count(), 2);
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"mc_after\":32"));
+        assert!(text.contains("\"wall_s\":1.25"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -18,3 +18,4 @@ pub use experiment::{
     normalized_geomean, run_flow, run_flow_threads, run_flow_with, FlowResult, ParallelResult,
     TableRow,
 };
+pub use harness::{json_path_from_args, write_bench_json, BenchRecord};

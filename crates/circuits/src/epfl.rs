@@ -9,6 +9,8 @@
 
 use xag_network::{Signal, Xag};
 
+use crate::parse::ParseError;
+
 use crate::arith::{
     add_ripple, barrel_shift_left, divide_restoring, input_word, isqrt_restoring,
     log2_fixed_with_width, max_word, multiply_array, output_word, sine_poly, square,
@@ -193,6 +195,23 @@ pub fn epfl_suite(scale: Scale) -> Vec<Benchmark> {
     out
 }
 
+/// Looks up one Table-1 benchmark by its row name.
+///
+/// This is the lookup the service layer and the CLI tools use for
+/// `--bench <name>` style requests: an unknown name is a recoverable
+/// [`ParseError::UnknownBenchmark`], never a panic in whatever thread
+/// handled the request.
+///
+/// # Errors
+///
+/// Returns [`ParseError::UnknownBenchmark`] when no row is called `name`.
+pub fn benchmark(name: &str, scale: Scale) -> Result<Benchmark, ParseError> {
+    epfl_suite(scale)
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| ParseError::UnknownBenchmark(name.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,8 +231,7 @@ mod tests {
 
     #[test]
     fn adder_has_textbook_and_cost() {
-        let suite = epfl_suite(Scale::Reduced);
-        let adder = suite.iter().find(|b| b.name == "adder").unwrap();
+        let adder = benchmark("adder", Scale::Reduced).expect("adder is a Table-1 row");
         // 3 ANDs per bit with the textbook full adder, minus two folded
         // away at bit 0 (constant carry-in).
         assert_eq!(adder.xag.num_ands(), 3 * 32 - 2);
@@ -221,8 +239,14 @@ mod tests {
 
     #[test]
     fn decoder_has_no_xors() {
-        let suite = epfl_suite(Scale::Reduced);
-        let dec = suite.iter().find(|b| b.name == "dec").unwrap();
+        let dec = benchmark("dec", Scale::Reduced).expect("dec is a Table-1 row");
         assert_eq!(dec.xag.num_xors(), 0);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_recoverable_error() {
+        let err = benchmark("no-such-row", Scale::Reduced).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownBenchmark(_)));
+        assert!(err.to_string().contains("no-such-row"));
     }
 }

@@ -43,3 +43,6 @@ pub mod epfl;
 pub mod hash;
 pub mod keccak;
 pub mod mpc;
+pub mod parse;
+
+pub use parse::{parse_circuit, CircuitFormat, ParseError};

@@ -4,6 +4,8 @@
 
 use xag_network::{Signal, Xag};
 
+use crate::parse::ParseError;
+
 use crate::arith::{
     add_ripple, input_word, less_equal_signed, less_equal_unsigned, less_than_signed,
     less_than_unsigned, multiply_array, output_word,
@@ -100,6 +102,28 @@ pub fn mpc_suite(include_heavy: bool) -> Vec<MpcBenchmark> {
     out
 }
 
+/// Looks up one Table-2 benchmark by its row name.
+///
+/// Like [`crate::epfl::benchmark`], this is the Result-based entry point
+/// for name-driven requests. The heavy rows (ciphers, hashes) are
+/// included in the search, so looking one up generates it.
+///
+/// # Errors
+///
+/// Returns [`ParseError::UnknownBenchmark`] when no row is called `name`.
+pub fn benchmark(name: &str) -> Result<MpcBenchmark, ParseError> {
+    let light = mpc_suite(false).into_iter().find(|b| b.name == name);
+    match light {
+        Some(b) => Ok(b),
+        // Only generate the expensive cipher/hash rows when the light
+        // suite cannot satisfy the name.
+        None => mpc_suite(true)
+            .into_iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| ParseError::UnknownBenchmark(name.to_string())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,7 +131,12 @@ mod tests {
     #[test]
     fn light_suite_shapes_match_table2() {
         let suite = mpc_suite(false);
-        let by_name = |n: &str| suite.iter().find(|b| b.name == n).unwrap();
+        let by_name = |n: &str| {
+            suite
+                .iter()
+                .find(|b| b.name == n)
+                .expect("row listed in Table 2")
+        };
         let a32 = by_name("32-bit Adder");
         assert_eq!(a32.xag.num_inputs(), 64);
         assert_eq!(a32.xag.num_outputs(), 33);
@@ -124,12 +153,19 @@ mod tests {
     }
 
     #[test]
+    fn benchmark_lookup_finds_light_rows_and_rejects_unknown() {
+        let a = benchmark("32-bit Adder").expect("light row");
+        assert_eq!(a.xag.num_inputs(), 64);
+        assert!(matches!(
+            benchmark("ChaCha20"),
+            Err(ParseError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
     fn comparators_behave() {
-        let suite = mpc_suite(false);
-        let lt = &suite
-            .iter()
-            .find(|b| b.name == "Comp. 32-bit Unsigned LT")
-            .unwrap()
+        let lt = &benchmark("Comp. 32-bit Unsigned LT")
+            .expect("comparator is a Table-2 row")
             .xag;
         // Drive with 64 input words: a = 5, b = 9.
         let mut words = vec![0u64; 64];

@@ -1,0 +1,213 @@
+//! Uniform circuit parsing for uploaded netlists.
+//!
+//! The benchmark generators in this crate *build* circuits; the service
+//! layer (`mc-serve`) additionally *receives* them as text. This module is
+//! the single entry point for that path: [`CircuitFormat`] names the two
+//! supported interchange formats, [`CircuitFormat::sniff`] detects which
+//! one a blob of text is in, and [`parse_circuit`] turns the text into an
+//! [`Xag`] behind one [`ParseError`] type — so a malformed upload becomes
+//! a `Result::Err` the caller can turn into a protocol error, never a
+//! panic inside a worker thread.
+
+use xag_network::{read_bristol, read_verilog, ParseBristolError, ParseVerilogError, Xag};
+
+/// The circuit interchange formats the toolkit reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CircuitFormat {
+    /// Bristol-fashion (`xag_network::read_bristol` /
+    /// `xag_network::write_bristol`) — the MPC community's format.
+    #[default]
+    Bristol,
+    /// The structural Verilog subset (`xag_network::read_verilog` /
+    /// `xag_network::write_verilog`).
+    Verilog,
+}
+
+impl CircuitFormat {
+    /// The stable lowercase name used on the wire and on CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitFormat::Bristol => "bristol",
+            CircuitFormat::Verilog => "verilog",
+        }
+    }
+
+    /// Parses a format name (as produced by [`CircuitFormat::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "bristol" => Some(CircuitFormat::Bristol),
+            "verilog" => Some(CircuitFormat::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format of a circuit text: a Verilog netlist starts with
+    /// a `module` header (possibly after comments), a Bristol file with
+    /// two integers (gate and wire counts).
+    pub fn sniff(text: &str) -> Option<Self> {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            if line.starts_with("module") {
+                return Some(CircuitFormat::Verilog);
+            }
+            let mut it = line.split_whitespace();
+            let two_ints = it.next().is_some_and(|t| t.parse::<usize>().is_ok())
+                && it.next().is_some_and(|t| t.parse::<usize>().is_ok());
+            return two_ints.then_some(CircuitFormat::Bristol);
+        }
+        None
+    }
+}
+
+impl core::fmt::Display for CircuitFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Any failure turning external text into a circuit: a syntactically
+/// broken netlist, text in no recognizable format, or a benchmark-by-name
+/// lookup ([`crate::epfl::benchmark`], [`crate::mpc::benchmark`]) that
+/// matches nothing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The text claimed (or sniffed) as Bristol failed to parse.
+    Bristol(ParseBristolError),
+    /// The text claimed (or sniffed) as Verilog failed to parse.
+    Verilog(ParseVerilogError),
+    /// The text matches neither format's shape.
+    UnknownFormat,
+    /// No benchmark with the given name exists.
+    UnknownBenchmark(String),
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Bristol(e) => write!(f, "{e}"),
+            ParseError::Verilog(e) => write!(f, "{e}"),
+            ParseError::UnknownFormat => {
+                write!(
+                    f,
+                    "unrecognized circuit format (expected bristol or verilog)"
+                )
+            }
+            ParseError::UnknownBenchmark(name) => write!(f, "unknown benchmark: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Bristol(e) => Some(e),
+            ParseError::Verilog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseBristolError> for ParseError {
+    fn from(e: ParseBristolError) -> Self {
+        ParseError::Bristol(e)
+    }
+}
+
+impl From<ParseVerilogError> for ParseError {
+    fn from(e: ParseVerilogError) -> Self {
+        ParseError::Verilog(e)
+    }
+}
+
+/// Parses a circuit text in the given format, sniffing the format when
+/// `format` is `None`.
+///
+/// # Errors
+///
+/// Returns [`ParseError::UnknownFormat`] if no format was given and none
+/// could be sniffed, and the wrapped parser error if the text is
+/// malformed.
+pub fn parse_circuit(text: &str, format: Option<CircuitFormat>) -> Result<Xag, ParseError> {
+    let format = match format.or_else(|| CircuitFormat::sniff(text)) {
+        Some(f) => f,
+        None => return Err(ParseError::UnknownFormat),
+    };
+    match format {
+        CircuitFormat::Bristol => Ok(read_bristol(text.as_bytes())?),
+        CircuitFormat::Verilog => Ok(read_verilog(text.as_bytes())?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xag_network::{write_bristol, write_verilog};
+
+    fn sample() -> Xag {
+        let mut x = Xag::new();
+        let a = x.input();
+        let b = x.input();
+        let g = x.and(a, !b);
+        x.output(g);
+        x
+    }
+
+    #[test]
+    fn sniffs_both_formats() {
+        let x = sample();
+        let mut b = Vec::new();
+        write_bristol(&x, &mut b).unwrap();
+        let b = String::from_utf8(b).unwrap();
+        assert_eq!(CircuitFormat::sniff(&b), Some(CircuitFormat::Bristol));
+        let mut v = Vec::new();
+        write_verilog(&x, "m", &mut v).unwrap();
+        let v = String::from_utf8(v).unwrap();
+        assert_eq!(CircuitFormat::sniff(&v), Some(CircuitFormat::Verilog));
+        assert_eq!(CircuitFormat::sniff("garbage in\n"), None);
+        assert_eq!(
+            CircuitFormat::sniff("// comment\nmodule x ();"),
+            Some(CircuitFormat::Verilog)
+        );
+    }
+
+    #[test]
+    fn parses_with_and_without_explicit_format() {
+        let x = sample();
+        let mut b = Vec::new();
+        write_bristol(&x, &mut b).unwrap();
+        let text = String::from_utf8(b).unwrap();
+        let sniffed = parse_circuit(&text, None).unwrap();
+        let explicit = parse_circuit(&text, Some(CircuitFormat::Bristol)).unwrap();
+        assert_eq!(sniffed.num_inputs(), 2);
+        assert_eq!(explicit.num_outputs(), 1);
+    }
+
+    #[test]
+    fn malformed_text_is_an_error_not_a_panic() {
+        assert!(matches!(
+            parse_circuit("not a circuit", None),
+            Err(ParseError::UnknownFormat)
+        ));
+        // Sniffs as Bristol, then fails structurally.
+        assert!(matches!(
+            parse_circuit("3 4\n1 2\n1 1\n\n2 1 0 1 99 AND\n", None),
+            Err(ParseError::Bristol(_))
+        ));
+        // Sniffs as Verilog, then fails structurally.
+        assert!(matches!(
+            parse_circuit("module m (a);\n  input a;\n", None),
+            Err(ParseError::Verilog(_))
+        ));
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [CircuitFormat::Bristol, CircuitFormat::Verilog] {
+            assert_eq!(CircuitFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(CircuitFormat::from_name("blif"), None);
+    }
+}

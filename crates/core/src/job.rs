@@ -1,0 +1,232 @@
+//! The job-level API of the optimizer: one network in, one optimized
+//! network plus a [`JobResult`] out.
+//!
+//! Service layers (the `mc-serve` daemon, batch drivers) should speak
+//! this API instead of composing passes themselves: a [`JobSpec`] names a
+//! flow by [`FlowKind`] and carries the two knobs a remote caller may
+//! reasonably pick (worker threads, round cap), and [`run_job`] executes
+//! it without exposing pass internals.
+//!
+//! [`run_job`] always routes through [`Pipeline::run_parallel`] — even
+//! for one thread — because the parallel engine is bit-identical across
+//! thread counts. That makes the optimized network a function of
+//! `(circuit, flow, max_rounds)` alone, which is exactly the property a
+//! semantic result cache needs: the thread count may change wall-clock,
+//! never the answer.
+//!
+//! # Examples
+//!
+//! ```
+//! use xag_mc::{run_job, JobSpec, OptContext};
+//! use xag_network::Xag;
+//!
+//! let mut xag = Xag::new();
+//! let (a, b, cin) = (xag.input(), xag.input(), xag.input());
+//! let ab = xag.and(a, b);
+//! let ac = xag.and(a, cin);
+//! let bc = xag.and(b, cin);
+//! let t = xag.xor(ab, ac);
+//! let cout = xag.xor(t, bc);
+//! let axb = xag.xor(a, b);
+//! let sum = xag.xor(axb, cin);
+//! xag.output(sum);
+//! xag.output(cout);
+//!
+//! let mut ctx = OptContext::new();
+//! let result = run_job(&mut xag, &mut ctx, &JobSpec::default());
+//! assert_eq!(result.ands_after, 1);
+//! assert!(result.converged);
+//! ```
+
+use std::time::Duration;
+
+use xag_network::Xag;
+
+use crate::context::OptContext;
+use crate::pipeline::Pipeline;
+
+/// The named optimization flows a job may request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowKind {
+    /// [`Pipeline::paper_flow`] — minimize multiplicative complexity
+    /// until convergence (the DAC'19 flow).
+    #[default]
+    Paper,
+    /// [`Pipeline::compress`] — generic size compression (the ABC-script
+    /// stand-in).
+    Compress,
+}
+
+impl FlowKind {
+    /// The stable name used on the wire and on CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::Paper => "paper",
+            FlowKind::Compress => "compress",
+        }
+    }
+
+    /// Parses a flow name; accepts the historical `paper_flow` spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" | "paper_flow" => Some(FlowKind::Paper),
+            "compress" => Some(FlowKind::Compress),
+            _ => None,
+        }
+    }
+
+    /// Builds the corresponding pipeline, capped at `max_rounds`.
+    pub fn pipeline(self, max_rounds: usize) -> Pipeline {
+        let flow = match self {
+            FlowKind::Paper => Pipeline::paper_flow(),
+            FlowKind::Compress => Pipeline::compress(),
+        };
+        flow.max_rounds(max_rounds.max(1))
+    }
+}
+
+impl core::fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to run on a submitted network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The flow to run.
+    pub flow: FlowKind,
+    /// Worker threads for the sharded engine (≥ 1; does not change the
+    /// result, only wall-clock).
+    pub threads: usize,
+    /// Cap on total pass executions.
+    pub max_rounds: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            flow: FlowKind::Paper,
+            threads: 1,
+            max_rounds: 100,
+        }
+    }
+}
+
+/// Gate-count, depth, and convergence summary of one executed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobResult {
+    /// AND gates before optimization.
+    pub ands_before: usize,
+    /// XOR gates before optimization.
+    pub xors_before: usize,
+    /// Multiplicative depth before optimization.
+    pub depth_before: usize,
+    /// AND gates after optimization.
+    pub ands_after: usize,
+    /// XOR gates after optimization.
+    pub xors_after: usize,
+    /// Multiplicative depth after optimization.
+    pub depth_after: usize,
+    /// Pass executions used.
+    pub rounds: usize,
+    /// True iff the flow converged before hitting `max_rounds`.
+    pub converged: bool,
+    /// Wall-clock time of the flow.
+    pub elapsed: Duration,
+}
+
+/// Runs `spec` on `xag` in place and reports the summary.
+///
+/// The result network depends only on `(xag, spec.flow, spec.max_rounds)`
+/// — see the [module documentation](self) for why `spec.threads` cannot
+/// affect it.
+pub fn run_job(xag: &mut Xag, ctx: &mut OptContext, spec: &JobSpec) -> JobResult {
+    let ands_before = xag.num_ands();
+    let xors_before = xag.num_xors();
+    let depth_before = xag.and_depth();
+    let stats = spec
+        .flow
+        .pipeline(spec.max_rounds)
+        .run_parallel(xag, ctx, spec.threads.max(1));
+    JobResult {
+        ands_before,
+        xors_before,
+        depth_before,
+        ands_after: xag.num_ands(),
+        xors_after: xag.num_xors(),
+        depth_after: xag.and_depth(),
+        rounds: stats.num_rounds(),
+        converged: stats.converged,
+        elapsed: stats.total_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xag_network::{equiv_exhaustive, write_verilog};
+
+    fn redundant_network() -> Xag {
+        let mut x = Xag::new();
+        let (a, b, c) = (x.input(), x.input(), x.input());
+        let t1 = x.and(a, b);
+        let t2 = x.and(a, c);
+        let t3 = x.xor(t1, t2);
+        let o = x.or(t3, a);
+        x.output(o);
+        x
+    }
+
+    #[test]
+    fn flow_names_round_trip_and_accept_alias() {
+        for f in [FlowKind::Paper, FlowKind::Compress] {
+            assert_eq!(FlowKind::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FlowKind::from_name("paper_flow"), Some(FlowKind::Paper));
+        assert_eq!(FlowKind::from_name("resub"), None);
+    }
+
+    #[test]
+    fn both_flows_preserve_function_and_report_counts() {
+        for flow in [FlowKind::Paper, FlowKind::Compress] {
+            let mut xag = redundant_network();
+            let reference = xag.cleanup();
+            let mut ctx = OptContext::new();
+            let result = run_job(
+                &mut xag,
+                &mut ctx,
+                &JobSpec {
+                    flow,
+                    ..JobSpec::default()
+                },
+            );
+            assert!(equiv_exhaustive(&reference, &xag.cleanup()), "{flow}");
+            assert_eq!(result.ands_after, xag.num_ands());
+            assert!(result.rounds > 0);
+            assert!(result.ands_after <= result.ands_before);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let netlist = |threads: usize| {
+            let mut xag = redundant_network();
+            let mut ctx = OptContext::new();
+            run_job(
+                &mut xag,
+                &mut ctx,
+                &JobSpec {
+                    threads,
+                    ..JobSpec::default()
+                },
+            );
+            let mut buf = Vec::new();
+            write_verilog(&xag.cleanup(), "m", &mut buf).expect("in-memory write");
+            buf
+        };
+        let one = netlist(1);
+        assert_eq!(one, netlist(2));
+        assert_eq!(one, netlist(4));
+    }
+}

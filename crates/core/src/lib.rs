@@ -101,6 +101,7 @@ use xag_tt::Tt;
 
 mod context;
 mod cost;
+mod job;
 mod pass;
 mod pipeline;
 pub mod shard;
@@ -109,6 +110,7 @@ mod xor_reduce;
 
 pub use context::OptContext;
 pub use cost::{protocol_costs, ProtocolCosts};
+pub use job::{run_job, FlowKind, JobResult, JobSpec};
 pub use pass::{Cleanup, McRewrite, ParRewrite, Pass, PassStats, SizeRewrite, XorReduce};
 pub use pipeline::{PassSummary, Pipeline, PipelineStats};
 pub use shard::{partition_windows, Shard};

@@ -1,0 +1,194 @@
+//! CLI client for the optimization service.
+//!
+//! Usage:
+//!
+//! ```text
+//! mc-client <addr> [CIRCUIT.txt | --bench NAME | --fuzz SEED]
+//!           [--flow paper|compress] [--threads N] [--max-rounds N]
+//!           [--format bristol|verilog] [--output bristol|verilog]
+//!           [--out PATH|-]
+//! mc-client <addr> --status | --stats | --shutdown
+//! ```
+//!
+//! Circuit sources (exactly one):
+//!
+//! * a file in Bristol or structural Verilog (format sniffed unless
+//!   `--format` is given);
+//! * `--bench NAME` — a generated benchmark, looked up in the EPFL
+//!   Table-1 suite (reduced scale) and then the MPC Table-2 suite;
+//! * `--fuzz SEED` — a seeded random XAG (the differential-testing
+//!   generator), handy for smoke tests.
+//!
+//! Prints a one-line summary (`cached: true|false` is what scripts grep
+//! for); `--out PATH` saves the optimized netlist, `--out -` prints it.
+
+use mc_serve::{Client, OptimizeRequest};
+use xag_circuits::epfl::Scale;
+use xag_circuits::CircuitFormat;
+use xag_mc::FlowKind;
+use xag_network::fuzz::{random_xag, FuzzConfig};
+use xag_network::{write_bristol, Xag};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mc-client <addr> [CIRCUIT | --bench NAME | --fuzz SEED] \
+         [--flow paper|compress] [--threads N] [--max-rounds N] \
+         [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-]\n\
+         \x20      mc-client <addr> --status | --stats | --shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl core::fmt::Display) -> ! {
+    eprintln!("mc-client: {message}");
+    std::process::exit(1);
+}
+
+fn bristol_text(xag: &Xag) -> String {
+    let mut buf = Vec::new();
+    write_bristol(xag, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("bristol writer emits ASCII")
+}
+
+fn bench_circuit(name: &str) -> String {
+    match xag_circuits::epfl::benchmark(name, Scale::Reduced) {
+        Ok(b) => bristol_text(&b.xag),
+        Err(_) => match xag_circuits::mpc::benchmark(name) {
+            Ok(b) => bristol_text(&b.xag),
+            Err(e) => fail(e),
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let addr = args[0].clone();
+
+    let mut circuit: Option<String> = None;
+    let mut format: Option<CircuitFormat> = None;
+    let mut flow = FlowKind::Paper;
+    let mut threads = 1usize;
+    let mut max_rounds = 100usize;
+    let mut output = CircuitFormat::Bristol;
+    let mut out: Option<String> = None;
+    let mut action: Option<&str> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--bench" => circuit = Some(bench_circuit(&value())),
+            "--fuzz" => {
+                let seed: u64 = value().parse().unwrap_or_else(|_| usage());
+                circuit = Some(bristol_text(&random_xag(&FuzzConfig::default(), seed)));
+            }
+            "--flow" => {
+                let name = value();
+                flow = FlowKind::from_name(&name)
+                    .unwrap_or_else(|| fail(format_args!("unknown flow: {name}")));
+            }
+            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
+            "--max-rounds" => max_rounds = value().parse().unwrap_or_else(|_| usage()),
+            "--format" => {
+                let name = value();
+                format = Some(
+                    CircuitFormat::from_name(&name)
+                        .unwrap_or_else(|| fail(format_args!("unknown format: {name}"))),
+                );
+            }
+            "--output" => {
+                let name = value();
+                output = CircuitFormat::from_name(&name)
+                    .unwrap_or_else(|| fail(format_args!("unknown output format: {name}")));
+            }
+            "--out" => out = Some(value()),
+            "--status" => action = Some("status"),
+            "--stats" => action = Some("stats"),
+            "--shutdown" => action = Some("shutdown"),
+            path if !path.starts_with("--") => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+                circuit = Some(text);
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| fail(format_args!("cannot connect to {addr}: {e}")));
+
+    match action {
+        Some("status") => {
+            let s = client.status().unwrap_or_else(|e| fail(e));
+            println!(
+                "queue: {}/{}  workers: {} ({} busy)",
+                s.queue_depth, s.queue_capacity, s.workers, s.busy
+            );
+            return;
+        }
+        Some("stats") => {
+            let s = client.stats().unwrap_or_else(|e| fail(e));
+            println!("jobs_served   : {}", s.jobs_served);
+            println!("cache_hits    : {}", s.cache_hits);
+            println!("cache_misses  : {}", s.cache_misses);
+            println!("cache_evicted : {}", s.cache_evictions);
+            println!("cache_entries : {}/{}", s.cache_entries, s.cache_capacity);
+            println!("hit_rate      : {:.1}%", 100.0 * s.hit_rate());
+            println!("queue_depth   : {}", s.queue_depth);
+            for t in &s.flows {
+                println!(
+                    "flow {:<10}: {} jobs, {} ms total",
+                    t.flow, t.jobs, t.total_millis
+                );
+            }
+            return;
+        }
+        Some(_) => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("daemon acknowledged shutdown");
+            return;
+        }
+        None => {}
+    }
+
+    let circuit = circuit.unwrap_or_else(|| usage());
+    let result = client
+        .optimize(OptimizeRequest {
+            circuit,
+            format,
+            flow,
+            threads,
+            max_rounds,
+            output,
+        })
+        .unwrap_or_else(|e| fail(e));
+
+    println!(
+        "job {} (cached: {}): AND {} -> {}, XOR {} -> {}, depth {} -> {}, \
+         {} rounds, {} ms{}",
+        result.job_id,
+        result.cached,
+        result.ands_before,
+        result.ands_after,
+        result.xors_before,
+        result.xors_after,
+        result.depth_before,
+        result.depth_after,
+        result.rounds,
+        result.millis,
+        if result.converged {
+            ""
+        } else {
+            " (round limit)"
+        },
+    );
+    match out.as_deref() {
+        Some("-") => print!("{}", result.netlist),
+        Some(path) => std::fs::write(path, &result.netlist)
+            .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}"))),
+        None => {}
+    }
+}

@@ -1,0 +1,73 @@
+//! The optimization service daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--port-file PATH]
+//! ```
+//!
+//! * `--addr` — listen address; port 0 picks an ephemeral port
+//!   (default `127.0.0.1:4519`).
+//! * `--workers` — worker-pool size (default: available parallelism,
+//!   capped at 8).
+//! * `--queue` — job-queue bound; submissions beyond it block
+//!   (default 64).
+//! * `--cache` — semantic-result-cache bound, LRU (default 128).
+//! * `--port-file` — write the bound address to this file once
+//!   listening, for scripts that start the daemon with port 0.
+//!
+//! The daemon runs until a client sends a `shutdown` request (e.g.
+//! `mc-client <addr> --shutdown`).
+
+use mc_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+         [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:4519".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--port-file" => port_file = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let cache = config.cache_capacity;
+    let handle = match Server::bind(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("mc-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.local_addr();
+    println!("mc-serve listening on {addr} ({workers} workers, queue {queue}, cache {cache})");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("mc-serve: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    handle.join();
+    println!("mc-serve: shut down");
+}

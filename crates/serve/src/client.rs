@@ -1,0 +1,154 @@
+//! A blocking client for the optimization service.
+//!
+//! One [`Client`] wraps one TCP connection and speaks the frame protocol
+//! synchronously: each method sends a request and blocks for its
+//! response (the server guarantees responses in request order per
+//! connection). The `mc-client` CLI, the end-to-end tests, and the
+//! `serve_bench` load generator are all built on this type.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, OptimizeRequest, OptimizeResult, Request, Response,
+    StatsInfo, StatusInfo,
+};
+
+/// Failure of a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Frame-level failure (truncated or oversized frame, closed mid-response).
+    Frame(FrameError),
+    /// The response could not be decoded, or had an unexpected type.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server(String),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `addr` (e.g. `"127.0.0.1:4519"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is strict request/response; Nagle only adds latency.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a connection closed before the response
+    /// arrives surfaces as [`ClientError::Protocol`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_payload())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("connection closed before response".into()))?;
+        Response::from_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Submits a circuit for optimization and blocks for the result.
+    ///
+    /// # Errors
+    ///
+    /// A malformed circuit (or any other request-level failure) comes
+    /// back as [`ClientError::Server`] with the daemon's message.
+    pub fn optimize(&mut self, request: OptimizeRequest) -> Result<OptimizeResult, ClientError> {
+        match self.request(&Request::Optimize(request))? {
+            Response::Result(result) => Ok(result),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries queue and worker occupancy.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        match self.request(&Request::Status)? {
+            Response::Status(status) => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries service counters (jobs served, cache hit rate, per-flow
+    /// timing).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<StatsInfo, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down; returns once it acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! A minimal JSON value, parser, and writer.
+//!
+//! The serve protocol exchanges small JSON objects over length-prefixed
+//! frames. The workspace is offline and dependency-free by policy
+//! (DESIGN.md §3), so instead of serde this module implements the small
+//! JSON subset the protocol needs: objects, arrays, strings (with the
+//! standard escapes, including `\uXXXX` and surrogate pairs), numbers,
+//! booleans, and null. Object member order is preserved, so encoding is
+//! deterministic — the protocol tests rely on byte-stable round trips.
+
+use std::collections::VecDeque;
+
+/// Maximum nesting depth the parser accepts; deeper input is rejected
+/// rather than risking a stack overflow on hostile frames.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (first match); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// (rejects negatives, NaN, and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64).then_some(n as u64)
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value; deterministic (member order preserved).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; never produced by the protocol
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = core::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut pending: VecDeque<u16> = VecDeque::new();
+        let flush =
+            |pending: &mut VecDeque<u16>, out: &mut String, pos: usize| -> Result<(), JsonError> {
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                let units: Vec<u16> = pending.drain(..).collect();
+                let decoded: String = char::decode_utf16(units)
+                    .collect::<Result<String, _>>()
+                    .map_err(|_| JsonError {
+                        message: "unpaired surrogate".to_string(),
+                        offset: pos,
+                    })?;
+                out.push_str(&decoded);
+                Ok(())
+            };
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    flush(&mut pending, &mut out, self.pos)?;
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    if esc == b'u' {
+                        pending.push_back(self.hex4()? as u16);
+                        continue;
+                    }
+                    flush(&mut pending, &mut out, self.pos)?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    flush(&mut pending, &mut out, self.pos)?;
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| (b & 0xc0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        core::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("slice starts and ends on scalar boundaries of a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let value = Json::Obj(vec![
+            ("type".into(), Json::from("optimize")),
+            ("threads".into(), Json::from(4u64)),
+            ("cached".into(), Json::Bool(false)),
+            (
+                "list".into(),
+                Json::Arr(vec![Json::Null, Json::Num(-1.5), Json::from("x")]),
+            ),
+        ]);
+        let text = value.encode();
+        assert_eq!(parse(&text).unwrap(), value);
+        // Deterministic encoding.
+        assert_eq!(parse(&text).unwrap().encode(), text);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "newline\ntab\tcr\r",
+            "control \u{01} char",
+            "unicode → ∀ 🦀",
+        ] {
+            let text = Json::from(s).encode();
+            assert_eq!(parse(&text).unwrap(), Json::from(s), "{text}");
+        }
+        // \u escapes: BMP scalar, then a surrogate pair for U+1F980.
+        assert_eq!(
+            parse("\"\\u0041\\ud83e\\udd80\"").unwrap(),
+            Json::from("A🦀")
+        );
+        assert!(parse(r#""\ud83e""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nan",
+            "1e999",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn numbers_and_accessors() {
+        let v = parse(r#"{"a": 42, "b": -1, "c": 2.5}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("b").and_then(Json::as_u64), None);
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(-1.0));
+        assert_eq!(v.get("c").and_then(Json::as_u64), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::from(42u64).encode(), "42");
+        assert_eq!(Json::Num(2.5).encode(), "2.5");
+    }
+}

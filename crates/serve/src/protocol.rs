@@ -1,0 +1,682 @@
+//! The wire protocol of the optimization service.
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Length-prefixing (rather
+//! than bare JSON lines) lets the reader reject oversized payloads
+//! *before* buffering them and makes truncation detectable: a connection
+//! that dies mid-frame yields [`FrameError::Truncated`], never a
+//! half-parsed request.
+//!
+//! Requests and responses are tagged JSON objects (`"type": "optimize"`,
+//! `"type": "result"`, …); [`Request`] and [`Response`] are the typed
+//! forms with lossless [`Request::to_json`] / [`Request::from_payload`]
+//! conversions (and likewise for responses), covered by round-trip tests.
+
+use std::io::{Read, Write};
+
+use xag_circuits::CircuitFormat;
+use xag_mc::FlowKind;
+
+use crate::json::{self, Json};
+
+/// Hard cap on a frame payload. A Bristol netlist of a few million gates
+/// fits comfortably; anything larger is rejected before allocation.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Server-side cap on the per-job worker threads a client may request.
+pub const MAX_JOB_THREADS: usize = 8;
+
+/// Server-side cap on the per-job round cap a client may request.
+pub const MAX_JOB_ROUNDS: usize = 1000;
+
+/// Failure reading a frame from the wire.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The peer closed (or the stream broke) in the middle of a frame.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversized(usize),
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized(n) => {
+                write!(f, "oversized frame: {n} bytes (limit {MAX_FRAME_LEN})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one frame (length prefix plus payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses payloads above [`MAX_FRAME_LEN`] with
+/// `InvalidInput`.
+pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload exceeds MAX_FRAME_LEN",
+        ));
+    }
+    // One buffer, one write: a prefix-then-payload pair of writes would
+    // put the 4-byte prefix in its own TCP segment, and Nagle + delayed
+    // ACK would turn every request into a ~40 ms round trip.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF
+/// exactly at a frame boundary); EOF anywhere inside a frame is
+/// [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// See [`FrameError`].
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    match reader.read_exact(&mut payload) {
+        Ok(()) => Ok(Some(payload)),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+/// An `optimize` request: a circuit and what to do with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeRequest {
+    /// The circuit text (Bristol or structural Verilog).
+    pub circuit: String,
+    /// Input format; `None` lets the server sniff it.
+    pub format: Option<CircuitFormat>,
+    /// The flow to run.
+    pub flow: FlowKind,
+    /// Worker threads for the job (clamped server-side to
+    /// [`MAX_JOB_THREADS`]; never changes the result).
+    pub threads: usize,
+    /// Round cap (clamped server-side to [`MAX_JOB_ROUNDS`]).
+    pub max_rounds: usize,
+    /// Format of the returned netlist.
+    pub output: CircuitFormat,
+}
+
+impl Default for OptimizeRequest {
+    fn default() -> Self {
+        Self {
+            circuit: String::new(),
+            format: None,
+            flow: FlowKind::Paper,
+            threads: 1,
+            max_rounds: 100,
+            output: CircuitFormat::Bristol,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Optimize a circuit.
+    Optimize(OptimizeRequest),
+    /// Report queue and worker occupancy.
+    Status,
+    /// Report service counters (jobs, cache, per-flow timing).
+    Stats,
+    /// Stop accepting work and shut the daemon down.
+    Shutdown,
+}
+
+/// The outcome of one `optimize` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeResult {
+    /// Server-assigned job id (cache hits reuse the id of the job that
+    /// computed the entry).
+    pub job_id: u64,
+    /// True iff the response was served from the semantic cache.
+    pub cached: bool,
+    /// The optimized netlist, in `output` format.
+    pub netlist: String,
+    /// Format of `netlist`.
+    pub output: CircuitFormat,
+    /// AND gates before optimization.
+    pub ands_before: usize,
+    /// XOR gates before optimization.
+    pub xors_before: usize,
+    /// AND gates after optimization.
+    pub ands_after: usize,
+    /// XOR gates after optimization.
+    pub xors_after: usize,
+    /// Multiplicative depth before optimization.
+    pub depth_before: usize,
+    /// Multiplicative depth after optimization.
+    pub depth_after: usize,
+    /// Pass executions used.
+    pub rounds: usize,
+    /// True iff the flow converged before its round cap.
+    pub converged: bool,
+    /// Wall-clock milliseconds the optimization took (for a cache hit:
+    /// the time the original computation took, not the hit's ~0).
+    pub millis: u64,
+}
+
+/// Queue and worker occupancy, for the `status` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Queue capacity (pushes beyond it block — backpressure).
+    pub queue_capacity: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Workers currently running a job.
+    pub busy: usize,
+}
+
+/// Per-flow job count and cumulative optimization time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowTiming {
+    /// Flow name ([`FlowKind::name`]).
+    pub flow: String,
+    /// Jobs computed under this flow (cache hits excluded).
+    pub jobs: u64,
+    /// Total optimization wall-clock, in milliseconds.
+    pub total_millis: u64,
+}
+
+/// Service counters, for the `stats` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsInfo {
+    /// Optimize requests answered (computed + cache hits).
+    pub jobs_served: u64,
+    /// Semantic-cache hits.
+    pub cache_hits: u64,
+    /// Semantic-cache misses.
+    pub cache_misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// LRU bound.
+    pub cache_capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Per-flow computation totals.
+    pub flows: Vec<FlowTiming>,
+}
+
+impl StatsInfo {
+    /// Cache hit rate in `[0, 1]`; 0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Optimize`].
+    Result(OptimizeResult),
+    /// Answer to [`Request::Status`].
+    Status(StatusInfo),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsInfo),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any failure the server could map to the request (malformed
+    /// circuit, unknown request type, shutdown in progress, …).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn obj_str(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field: {key}"))
+}
+
+fn obj_usize(value: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("non-integer field: {key}")),
+    }
+}
+
+fn obj_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field: {key}"))
+}
+
+fn obj_bool(value: &Json, key: &str) -> Result<bool, String> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field: {key}"))
+}
+
+impl Request {
+    /// The JSON form of the request.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Optimize(o) => {
+                let mut members = vec![("type".to_string(), Json::from("optimize"))];
+                if let Some(f) = o.format {
+                    members.push(("format".to_string(), Json::from(f.name())));
+                }
+                members.extend([
+                    ("flow".to_string(), Json::from(o.flow.name())),
+                    ("threads".to_string(), Json::from(o.threads)),
+                    ("max_rounds".to_string(), Json::from(o.max_rounds)),
+                    ("output".to_string(), Json::from(o.output.name())),
+                    ("circuit".to_string(), Json::from(o.circuit.as_str())),
+                ]);
+                Json::Obj(members)
+            }
+            Request::Status => Json::Obj(vec![("type".to_string(), Json::from("status"))]),
+            Request::Stats => Json::Obj(vec![("type".to_string(), Json::from("stats"))]),
+            Request::Shutdown => Json::Obj(vec![("type".to_string(), Json::from("shutdown"))]),
+        }
+    }
+
+    /// Serializes to frame-payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Parses a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of what is malformed (sent
+    /// back to the client as a protocol error).
+    pub fn from_payload(payload: &[u8]) -> Result<Request, String> {
+        let text = core::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let kind = obj_str(&value, "type")?;
+        match kind.as_str() {
+            "optimize" => {
+                let format = match value.get("format") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let name = v.as_str().ok_or("non-string field: format")?;
+                        Some(
+                            CircuitFormat::from_name(name)
+                                .ok_or_else(|| format!("unknown format: {name}"))?,
+                        )
+                    }
+                };
+                // Absent fields default; present fields must be
+                // well-typed — a mistyped "flow" silently running the
+                // wrong flow would be far worse than an error.
+                let flow = match value.get("flow") {
+                    None | Some(Json::Null) => FlowKind::Paper,
+                    Some(v) => {
+                        let name = v.as_str().ok_or("non-string field: flow")?;
+                        FlowKind::from_name(name).ok_or_else(|| format!("unknown flow: {name}"))?
+                    }
+                };
+                let output = match value.get("output") {
+                    None | Some(Json::Null) => CircuitFormat::Bristol,
+                    Some(v) => {
+                        let name = v.as_str().ok_or("non-string field: output")?;
+                        CircuitFormat::from_name(name)
+                            .ok_or_else(|| format!("unknown output format: {name}"))?
+                    }
+                };
+                Ok(Request::Optimize(OptimizeRequest {
+                    circuit: obj_str(&value, "circuit")?,
+                    format,
+                    flow,
+                    threads: obj_usize(&value, "threads", 1)?,
+                    max_rounds: obj_usize(&value, "max_rounds", 100)?,
+                    output,
+                }))
+            }
+            "status" => Ok(Request::Status),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type: {other}")),
+        }
+    }
+}
+
+impl Response {
+    /// The JSON form of the response.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Result(r) => Json::Obj(vec![
+                ("type".to_string(), Json::from("result")),
+                ("job_id".to_string(), Json::from(r.job_id)),
+                ("cached".to_string(), Json::Bool(r.cached)),
+                ("output".to_string(), Json::from(r.output.name())),
+                ("ands_before".to_string(), Json::from(r.ands_before)),
+                ("xors_before".to_string(), Json::from(r.xors_before)),
+                ("ands_after".to_string(), Json::from(r.ands_after)),
+                ("xors_after".to_string(), Json::from(r.xors_after)),
+                ("depth_before".to_string(), Json::from(r.depth_before)),
+                ("depth_after".to_string(), Json::from(r.depth_after)),
+                ("rounds".to_string(), Json::from(r.rounds)),
+                ("converged".to_string(), Json::Bool(r.converged)),
+                ("millis".to_string(), Json::from(r.millis)),
+                ("netlist".to_string(), Json::from(r.netlist.as_str())),
+            ]),
+            Response::Status(s) => Json::Obj(vec![
+                ("type".to_string(), Json::from("status")),
+                ("queue_depth".to_string(), Json::from(s.queue_depth)),
+                ("queue_capacity".to_string(), Json::from(s.queue_capacity)),
+                ("workers".to_string(), Json::from(s.workers)),
+                ("busy".to_string(), Json::from(s.busy)),
+            ]),
+            Response::Stats(s) => Json::Obj(vec![
+                ("type".to_string(), Json::from("stats")),
+                ("jobs_served".to_string(), Json::from(s.jobs_served)),
+                ("cache_hits".to_string(), Json::from(s.cache_hits)),
+                ("cache_misses".to_string(), Json::from(s.cache_misses)),
+                ("cache_evictions".to_string(), Json::from(s.cache_evictions)),
+                ("cache_entries".to_string(), Json::from(s.cache_entries)),
+                ("cache_capacity".to_string(), Json::from(s.cache_capacity)),
+                ("queue_depth".to_string(), Json::from(s.queue_depth)),
+                (
+                    "flows".to_string(),
+                    Json::Arr(
+                        s.flows
+                            .iter()
+                            .map(|t| {
+                                Json::Obj(vec![
+                                    ("flow".to_string(), Json::from(t.flow.as_str())),
+                                    ("jobs".to_string(), Json::from(t.jobs)),
+                                    ("total_millis".to_string(), Json::from(t.total_millis)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::ShuttingDown => {
+                Json::Obj(vec![("type".to_string(), Json::from("shutting_down"))])
+            }
+            Response::Error { message } => Json::Obj(vec![
+                ("type".to_string(), Json::from("error")),
+                ("message".to_string(), Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Serializes to frame-payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Parses a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of what is malformed.
+    pub fn from_payload(payload: &[u8]) -> Result<Response, String> {
+        let text = core::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let kind = obj_str(&value, "type")?;
+        match kind.as_str() {
+            "result" => {
+                let output_name = obj_str(&value, "output")?;
+                let output = CircuitFormat::from_name(&output_name)
+                    .ok_or_else(|| format!("unknown output format: {output_name}"))?;
+                Ok(Response::Result(OptimizeResult {
+                    job_id: obj_u64(&value, "job_id")?,
+                    cached: obj_bool(&value, "cached")?,
+                    netlist: obj_str(&value, "netlist")?,
+                    output,
+                    ands_before: obj_usize(&value, "ands_before", 0)?,
+                    xors_before: obj_usize(&value, "xors_before", 0)?,
+                    ands_after: obj_usize(&value, "ands_after", 0)?,
+                    xors_after: obj_usize(&value, "xors_after", 0)?,
+                    depth_before: obj_usize(&value, "depth_before", 0)?,
+                    depth_after: obj_usize(&value, "depth_after", 0)?,
+                    rounds: obj_usize(&value, "rounds", 0)?,
+                    converged: obj_bool(&value, "converged")?,
+                    millis: obj_u64(&value, "millis")?,
+                }))
+            }
+            "status" => Ok(Response::Status(StatusInfo {
+                queue_depth: obj_usize(&value, "queue_depth", 0)?,
+                queue_capacity: obj_usize(&value, "queue_capacity", 0)?,
+                workers: obj_usize(&value, "workers", 0)?,
+                busy: obj_usize(&value, "busy", 0)?,
+            })),
+            "stats" => {
+                let flows = value
+                    .get("flows")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|t| {
+                        Ok(FlowTiming {
+                            flow: obj_str(t, "flow")?,
+                            jobs: obj_u64(t, "jobs")?,
+                            total_millis: obj_u64(t, "total_millis")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Stats(StatsInfo {
+                    jobs_served: obj_u64(&value, "jobs_served")?,
+                    cache_hits: obj_u64(&value, "cache_hits")?,
+                    cache_misses: obj_u64(&value, "cache_misses")?,
+                    cache_evictions: obj_u64(&value, "cache_evictions")?,
+                    cache_entries: obj_usize(&value, "cache_entries", 0)?,
+                    cache_capacity: obj_usize(&value, "cache_capacity", 0)?,
+                    queue_depth: obj_usize(&value, "queue_depth", 0)?,
+                    flows,
+                }))
+            }
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: obj_str(&value, "message")?,
+            }),
+            other => Err(format!("unknown response type: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, "unicode 🦀".as_bytes()).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            "unicode 🦀".as_bytes()
+        );
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_are_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Cut inside the payload.
+        let cut = &wire[..wire.len() - 3];
+        assert!(matches!(read_frame(cut), Err(FrameError::Truncated)));
+        // Cut inside the length prefix.
+        assert!(matches!(read_frame(&wire[..2]), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        wire.extend_from_slice(b"whatever");
+        assert!(matches!(
+            read_frame(wire.as_slice()),
+            Err(FrameError::Oversized(_))
+        ));
+        // The writer refuses to produce one in the first place.
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Optimize(OptimizeRequest {
+                circuit: "module m (a, o0);\n…".to_string(),
+                format: Some(CircuitFormat::Verilog),
+                flow: FlowKind::Compress,
+                threads: 4,
+                max_rounds: 25,
+                output: CircuitFormat::Verilog,
+            }),
+            Request::Optimize(OptimizeRequest::default()),
+            Request::Status,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let payload = req.to_payload();
+            assert_eq!(Request::from_payload(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Result(OptimizeResult {
+                job_id: 7,
+                cached: true,
+                netlist: "1 3\n1 2\n1 1\n\n2 1 0 1 2 AND\n".to_string(),
+                output: CircuitFormat::Bristol,
+                ands_before: 3,
+                xors_before: 4,
+                ands_after: 1,
+                xors_after: 7,
+                depth_before: 2,
+                depth_after: 1,
+                rounds: 5,
+                converged: true,
+                millis: 12,
+            }),
+            Response::Status(StatusInfo {
+                queue_depth: 1,
+                queue_capacity: 64,
+                workers: 4,
+                busy: 2,
+            }),
+            Response::Stats(StatsInfo {
+                jobs_served: 10,
+                cache_hits: 4,
+                cache_misses: 6,
+                cache_evictions: 1,
+                cache_entries: 5,
+                cache_capacity: 128,
+                queue_depth: 0,
+                flows: vec![FlowTiming {
+                    flow: "paper".to_string(),
+                    jobs: 6,
+                    total_millis: 120,
+                }],
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "malformed bristol circuit: bad gate line".to_string(),
+            },
+        ];
+        for resp in responses {
+            let payload = resp.to_payload();
+            assert_eq!(Response::from_payload(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors() {
+        assert!(Request::from_payload(b"\xff\xfe").is_err());
+        assert!(Request::from_payload(b"{}").is_err());
+        assert!(Request::from_payload(br#"{"type":"fly"}"#).is_err());
+        assert!(
+            Request::from_payload(br#"{"type":"optimize"}"#).is_err(),
+            "no circuit"
+        );
+        assert!(
+            Request::from_payload(br#"{"type":"optimize","circuit":"x","flow":"warp"}"#).is_err()
+        );
+        // Present-but-mistyped fields are rejected, not defaulted.
+        assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","flow":2}"#).is_err());
+        assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","output":1}"#).is_err());
+        assert!(Response::from_payload(br#"{"type":"result"}"#).is_err());
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let mut stats = StatsInfo {
+            jobs_served: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_entries: 0,
+            cache_capacity: 8,
+            queue_depth: 0,
+            flows: Vec::new(),
+        };
+        assert_eq!(stats.hit_rate(), 0.0);
+        stats.cache_hits = 3;
+        stats.cache_misses = 1;
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

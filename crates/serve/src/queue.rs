@@ -1,0 +1,173 @@
+//! A bounded, blocking MPMC job queue with explicit close.
+//!
+//! The queue is the backpressure point of the service: connection
+//! threads [`JobQueue::push`] and **block** while the queue is full, so a
+//! flood of submissions slows clients down instead of growing an
+//! unbounded backlog; worker threads [`JobQueue::pop`] and block while it
+//! is empty. [`JobQueue::close`] wakes everyone: pending and future
+//! pushes fail (returning the job to the caller), pops drain what is left
+//! and then return `None` — the worker-pool shutdown signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`JobQueue::push`] on a closed queue; carries the
+/// rejected job back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<T>(pub T);
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue. See the [module documentation](self).
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// True iff no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job, blocking while the queue is full (the
+    /// backpressure path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] with the job if the queue was closed before
+    /// space became available.
+    pub fn push(&self, job: T) -> Result<(), Closed<T>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return Err(Closed(job));
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a job, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: wakes all blocked pushers (which fail) and
+    /// poppers (which drain, then observe the close).
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let q = JobQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_until_pop_makes_room() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(1).is_ok());
+        // Give the pusher time to block on the full queue.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1, "second push must be blocked, not queued");
+        assert_eq!(q.pop(), Some(0));
+        assert!(pusher.join().unwrap(), "blocked push completes after pop");
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_fails_pushers() {
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(q.push(7), Err(Closed(7)));
+    }
+
+    #[test]
+    fn close_drains_remaining_items() {
+        let q = JobQueue::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pusher_fails_on_close() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(Closed(1)));
+    }
+}

@@ -1,0 +1,437 @@
+//! The daemon: TCP listener, per-connection reader threads, worker pool,
+//! and the shared state tying them to the queue and the cache.
+//!
+//! # Thread model
+//!
+//! * **Listener** — one thread in a non-blocking accept loop (so it can
+//!   observe the shutdown flag); every accepted connection gets its own
+//!   reader thread.
+//! * **Connection readers** — read one frame at a time. Cheap requests
+//!   (`status`, `stats`, cache hits) are answered inline; a cache miss
+//!   becomes a [`Job`] pushed onto the bounded queue — blocking there
+//!   *is* the backpressure — and the reader then waits on the job's
+//!   reply channel, so each connection has at most one job in flight and
+//!   responses stay ordered.
+//! * **Workers** — `workers` threads popping jobs. Each job forks the
+//!   shared [`OptContext`], runs `xag_mc::run_job`, absorbs the fork back
+//!   (so representatives synthesized for one client amortize across all
+//!   of them), stores both export formats in the semantic cache, and
+//!   sends the result to the waiting reader.
+//!
+//! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) sets the
+//! flag and closes the queue: the listener stops accepting, workers drain
+//! the queue and exit, blocked submitters get an error response, and
+//! readers exit on the next EOF or request.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use xag_circuits::{parse_circuit, CircuitFormat};
+use xag_mc::{run_job, JobSpec, OptContext};
+use xag_network::{write_bristol, write_verilog, Xag};
+
+use crate::cache::{job_key, CacheEntry, SemanticCache};
+use crate::protocol::{
+    read_frame, write_frame, FlowTiming, FrameError, OptimizeRequest, OptimizeResult, Request,
+    Response, StatsInfo, StatusInfo, MAX_JOB_ROUNDS, MAX_JOB_THREADS,
+};
+use crate::queue::JobQueue;
+
+/// Configuration of [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port (the bound
+    /// address is reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bound of the job queue (pushes beyond it block).
+    pub queue_capacity: usize,
+    /// Bound of the semantic result cache (LRU).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// One queued optimization job.
+struct Job {
+    id: u64,
+    xag: Xag,
+    spec: JobSpec,
+    key: Vec<u8>,
+    reply: mpsc::Sender<CacheEntry>,
+}
+
+/// Aggregate service counters (everything `stats` reports that the cache
+/// does not already count).
+#[derive(Debug, Default)]
+struct ServiceStats {
+    jobs_served: u64,
+    /// flow name → (jobs computed, total optimization millis).
+    per_flow: BTreeMap<String, (u64, u64)>,
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: Mutex<SemanticCache>,
+    ctx: Mutex<OptContext>,
+    stats: Mutex<ServiceStats>,
+    shutdown: AtomicBool,
+    busy: AtomicUsize,
+    next_job_id: AtomicU64,
+    workers: usize,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn status(&self) -> StatusInfo {
+        StatusInfo {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            busy: self.busy.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats(&self) -> StatsInfo {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        let stats = self.stats.lock().expect("stats lock poisoned");
+        StatsInfo {
+            jobs_served: stats.jobs_served,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_entries: cache.len(),
+            cache_capacity: cache.capacity(),
+            queue_depth: self.queue.len(),
+            flows: stats
+                .per_flow
+                .iter()
+                .map(|(flow, &(jobs, total_millis))| FlowTiming {
+                    flow: flow.clone(),
+                    jobs,
+                    total_millis,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The daemon's entry point; see [`Server::bind`].
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the accept loop,
+    /// and returns a handle to the running service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bad address, port in use, …).
+    pub fn bind(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: Mutex::new(SemanticCache::new(config.cache_capacity)),
+            ctx: Mutex::new(OptContext::new()),
+            stats: Mutex::new(ServiceStats::default()),
+            shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+            next_job_id: AtomicU64::new(1),
+            workers,
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mc-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-serve-listener".to_string())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .expect("spawn listener thread"),
+            );
+        }
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// A running daemon: its bound address and the means to stop it.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the daemon stops (i.e. until a `shutdown` request
+    /// arrives or [`ServerHandle::shutdown`] is called elsewhere).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Initiates shutdown and waits for the listener and workers to
+    /// exit. In-queue jobs are drained first; connection readers exit on
+    /// their next read.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                // Readers are detached: they exit on EOF, error, or the
+                // next request after shutdown. Holding their handles
+                // would let one idle client block the whole shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("mc-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        connection_loop(stream, &shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    // write_frame flushes before returning.
+    write_frame(&mut *stream, &response.to_payload()).is_ok()
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(FrameError::Oversized(n)) => {
+                // The frame body was never read, so the stream cannot be
+                // resynchronized — answer and drop the connection.
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        message: FrameError::Oversized(n).to_string(),
+                    },
+                );
+                return;
+            }
+            Err(_) => return, // truncated or broken stream
+        };
+        let request = match Request::from_payload(&payload) {
+            Ok(request) => request,
+            Err(message) => {
+                if !send(&mut stream, &Response::Error { message }) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Status => Response::Status(shared.status()),
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::Shutdown => {
+                shared.begin_shutdown();
+                let _ = send(&mut stream, &Response::ShuttingDown);
+                return;
+            }
+            Request::Optimize(req) => handle_optimize(shared, req),
+        };
+        if !send(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+fn entry_to_result(entry: &CacheEntry, cached: bool, output: CircuitFormat) -> Response {
+    Response::Result(OptimizeResult {
+        job_id: entry.job_id,
+        cached,
+        netlist: match output {
+            CircuitFormat::Bristol => entry.bristol.clone(),
+            CircuitFormat::Verilog => entry.verilog.clone(),
+        },
+        output,
+        ands_before: entry.ands_before,
+        xors_before: entry.xors_before,
+        ands_after: entry.ands_after,
+        xors_after: entry.xors_after,
+        depth_before: entry.depth_before,
+        depth_after: entry.depth_after,
+        rounds: entry.rounds,
+        converged: entry.converged,
+        millis: entry.millis,
+    })
+}
+
+fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            message: "daemon is shutting down".to_string(),
+        };
+    }
+    // A malformed upload is a protocol error, never a worker panic: the
+    // parse happens here, behind `Result`, before anything is queued.
+    let xag = match parse_circuit(&req.circuit, req.format) {
+        Ok(xag) => xag,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    let spec = JobSpec {
+        flow: req.flow,
+        threads: req.threads.clamp(1, MAX_JOB_THREADS),
+        max_rounds: req.max_rounds.clamp(1, MAX_JOB_ROUNDS),
+    };
+    let key = job_key(&xag, spec.flow.name(), spec.max_rounds);
+
+    if let Some(entry) = shared.cache.lock().expect("cache lock poisoned").get(&key) {
+        shared
+            .stats
+            .lock()
+            .expect("stats lock poisoned")
+            .jobs_served += 1;
+        return entry_to_result(&entry, true, req.output);
+    }
+
+    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        id,
+        xag,
+        spec,
+        key,
+        reply: reply_tx,
+    };
+    // This push blocking on a full queue is the backpressure path.
+    if shared.queue.push(job).is_err() {
+        return Response::Error {
+            message: "daemon is shutting down".to_string(),
+        };
+    }
+    match reply_rx.recv() {
+        Ok(entry) => {
+            shared
+                .stats
+                .lock()
+                .expect("stats lock poisoned")
+                .jobs_served += 1;
+            entry_to_result(&entry, false, req.output)
+        }
+        Err(_) => Response::Error {
+            message: "job was dropped during shutdown".to_string(),
+        },
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        let entry = compute(shared, job.id, job.xag, &job.spec);
+        shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(job.key, entry.clone());
+        {
+            let mut stats = shared.stats.lock().expect("stats lock poisoned");
+            let slot = stats
+                .per_flow
+                .entry(job.spec.flow.name().to_string())
+                .or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += entry.millis;
+        }
+        // The reader may have vanished (client hung up); the cache entry
+        // is still useful, so ignore the send failure.
+        let _ = job.reply.send(entry);
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn compute(shared: &Arc<Shared>, job_id: u64, mut xag: Xag, spec: &JobSpec) -> CacheEntry {
+    // Fork the shared context so the optimization itself runs without
+    // holding any lock; absorb afterwards so every worker benefits from
+    // the representatives this job synthesized.
+    let mut ctx = shared.ctx.lock().expect("context lock poisoned").fork();
+    let result = run_job(&mut xag, &mut ctx, spec);
+    shared
+        .ctx
+        .lock()
+        .expect("context lock poisoned")
+        .absorb(ctx);
+
+    let clean = xag.cleanup();
+    let mut bristol = Vec::new();
+    write_bristol(&clean, &mut bristol).expect("in-memory write cannot fail");
+    let mut verilog = Vec::new();
+    write_verilog(&clean, "optimized", &mut verilog).expect("in-memory write cannot fail");
+    CacheEntry {
+        job_id,
+        bristol: String::from_utf8(bristol).expect("bristol writer emits ASCII"),
+        verilog: String::from_utf8(verilog).expect("verilog writer emits ASCII"),
+        ands_before: result.ands_before,
+        xors_before: result.xors_before,
+        depth_before: result.depth_before,
+        ands_after: result.ands_after,
+        xors_after: result.xors_after,
+        depth_after: result.depth_after,
+        rounds: result.rounds,
+        converged: result.converged,
+        millis: result.elapsed.as_millis() as u64,
+    }
+}

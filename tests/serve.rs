@@ -1,0 +1,231 @@
+//! End-to-end tests of the `mc-serve` daemon: boot on an ephemeral port,
+//! drive it with concurrent clients over real TCP, equivalence-check
+//! every returned netlist, and verify the semantic cache through the
+//! `stats` endpoint.
+
+use std::time::Instant;
+
+use mc_serve::{Client, OptimizeRequest, ServeConfig, Server};
+use xag_mc::FlowKind;
+use xag_network::fuzz::{random_xag, FuzzConfig};
+use xag_network::{equiv_exhaustive, read_bristol, write_bristol, Xag};
+
+fn bristol_text(xag: &Xag) -> String {
+    let mut buf = Vec::new();
+    write_bristol(xag, &mut buf).expect("in-memory write");
+    String::from_utf8(buf).expect("bristol is ASCII")
+}
+
+fn boot(workers: usize) -> mc_serve::ServerHandle {
+    Server::bind(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("bind on an ephemeral port")
+}
+
+/// The acceptance scenario: two concurrent clients submit fuzz networks,
+/// every response is equivalence-checked against its input, a
+/// resubmission is a cache hit (verified via `stats`), and the sustained
+/// throughput clears 1 job/s.
+#[test]
+fn two_clients_get_equivalent_results_and_cache_hits() {
+    let handle = boot(2);
+    let addr = handle.local_addr();
+    const JOBS_PER_CLIENT: u64 = 6;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..2u64 {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let cfg = FuzzConfig::default();
+                for j in 0..JOBS_PER_CLIENT {
+                    let seed = 1000 * c + j; // client-disjoint seeds
+                    let input = random_xag(&cfg, seed);
+                    let result = client
+                        .optimize(OptimizeRequest {
+                            circuit: bristol_text(&input),
+                            ..OptimizeRequest::default()
+                        })
+                        .expect("optimize");
+                    assert!(!result.cached, "seed {seed} was never submitted before");
+                    assert!(
+                        result.ands_after <= result.ands_before,
+                        "optimization must not add ANDs"
+                    );
+                    // Equivalence-check every returned netlist.
+                    let back = read_bristol(result.netlist.as_bytes()).expect("parse response");
+                    assert!(
+                        equiv_exhaustive(&input, &back),
+                        "returned netlist differs from input (seed {seed})"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let rate = (2 * JOBS_PER_CLIENT) as f64 / elapsed;
+    assert!(
+        rate > 1.0,
+        "sustained throughput {rate:.2} jobs/s is below 1 job/s"
+    );
+
+    // A structurally identical resubmission (fresh build from the same
+    // seed, over a fresh connection) must be a cache hit.
+    let mut client = Client::connect(addr).expect("connect");
+    let before = client.stats().expect("stats");
+    assert_eq!(before.cache_hits, 0);
+    assert_eq!(before.cache_misses, 2 * JOBS_PER_CLIENT);
+    assert_eq!(before.jobs_served, 2 * JOBS_PER_CLIENT);
+
+    let resubmitted = random_xag(&FuzzConfig::default(), 1003);
+    let hit = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&resubmitted),
+            ..OptimizeRequest::default()
+        })
+        .expect("optimize resubmission");
+    assert!(hit.cached, "identical resubmission must hit the cache");
+    let back = read_bristol(hit.netlist.as_bytes()).expect("parse cached response");
+    assert!(equiv_exhaustive(&resubmitted, &back));
+
+    let after = client.stats().expect("stats");
+    assert_eq!(after.cache_hits, 1, "stats endpoint must count the hit");
+    assert_eq!(after.cache_misses, before.cache_misses);
+    assert_eq!(after.jobs_served, before.jobs_served + 1);
+    assert!(after.hit_rate() > 0.0);
+    assert!(after
+        .flows
+        .iter()
+        .any(|t| t.flow == "paper" && t.jobs == 2 * JOBS_PER_CLIENT));
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// A permuted-but-isomorphic circuit — same graph, different gate order
+/// and operand order in the file — must hit the semantic cache.
+#[test]
+fn isomorphic_submission_is_a_cache_hit() {
+    let handle = boot(1);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let mut p = Xag::new();
+    let (a, b, c) = (p.input(), p.input(), p.input());
+    let ab = p.and(a, b);
+    let ca = p.and(c, !a);
+    let x = p.xor(ab, ca);
+    let m = p.maj(a, b, c);
+    p.output(x);
+    p.output(m);
+
+    // Same graph, different construction order, swapped operands.
+    let mut q = Xag::new();
+    let (a, b, c) = (q.input(), q.input(), q.input());
+    let ca = q.and(!a, c);
+    let m = q.maj(a, b, c);
+    let ab = q.and(b, a);
+    let x = q.xor(ca, ab);
+    q.output(x);
+    q.output(m);
+
+    let first = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&p),
+            ..OptimizeRequest::default()
+        })
+        .expect("first");
+    assert!(!first.cached);
+    let second = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&q),
+            ..OptimizeRequest::default()
+        })
+        .expect("second");
+    assert!(second.cached, "isomorphic network must hit");
+    assert_eq!(second.job_id, first.job_id);
+    assert_eq!(second.netlist, first.netlist);
+
+    // A different flow is a different job, not a hit.
+    let compress = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&p),
+            flow: FlowKind::Compress,
+            ..OptimizeRequest::default()
+        })
+        .expect("compress");
+    assert!(!compress.cached);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// A malformed upload is a protocol error; the connection and the daemon
+/// keep working afterwards.
+#[test]
+fn malformed_circuit_is_an_error_not_a_crash() {
+    let handle = boot(1);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let err = client
+        .optimize(OptimizeRequest {
+            circuit: "this is not a circuit".to_string(),
+            ..OptimizeRequest::default()
+        })
+        .expect_err("garbage must be rejected");
+    assert!(matches!(err, mc_serve::ClientError::Server(_)), "{err}");
+
+    // Bristol that sniffs fine but is structurally broken.
+    let err = client
+        .optimize(OptimizeRequest {
+            circuit: "3 4\n1 2\n1 1\n\n2 1 0 1 99 AND\n".to_string(),
+            ..OptimizeRequest::default()
+        })
+        .expect_err("broken bristol must be rejected");
+    assert!(matches!(err, mc_serve::ClientError::Server(_)), "{err}");
+
+    // The same connection still serves good requests — no worker died.
+    let input = random_xag(&FuzzConfig::default(), 7);
+    let result = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&input),
+            ..OptimizeRequest::default()
+        })
+        .expect("daemon still healthy");
+    let back = read_bristol(result.netlist.as_bytes()).expect("parse");
+    assert!(equiv_exhaustive(&input, &back));
+
+    let status = client.status().expect("status");
+    assert_eq!(status.workers, 1);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Verilog in, Verilog out: format handling end to end.
+#[test]
+fn verilog_round_trip_through_the_daemon() {
+    use xag_circuits::CircuitFormat;
+    use xag_network::{read_verilog, write_verilog};
+
+    let handle = boot(1);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let input = random_xag(&FuzzConfig::xor_heavy(), 11);
+    let mut text = Vec::new();
+    write_verilog(&input, "fuzz", &mut text).expect("write");
+    let result = client
+        .optimize(OptimizeRequest {
+            circuit: String::from_utf8(text).expect("ascii"),
+            output: CircuitFormat::Verilog,
+            ..OptimizeRequest::default()
+        })
+        .expect("optimize verilog");
+    assert_eq!(result.output, CircuitFormat::Verilog);
+    let back = read_verilog(result.netlist.as_bytes()).expect("parse verilog response");
+    assert!(equiv_exhaustive(&input, &back));
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
