@@ -1,0 +1,279 @@
+//! Load benchmark for the `mc-cluster` router: M concurrent clients
+//! drive an in-process cluster of K `mc-serve` backends through a real
+//! router, and the run reports the throughput scaling curve over the
+//! backend count plus the cache-affinity hit rate of affine routing
+//! against the random-placement baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p xag-bench --bin cluster_bench \
+//!     [--backends K] [--clients M] [--jobs J] [--workers W] [--json PATH]
+//! ```
+//!
+//! For each backend count `k` in `1..=K` the bench boots a fresh
+//! cluster and runs two phases with all clients concurrent:
+//!
+//! * **cold** — client-disjoint seeds, every job computes on a backend;
+//! * **warm** — the same submissions again; under affine routing every
+//!   job should land on the backend that cached it.
+//!
+//! At the full backend count the warm phase is repeated against a
+//! `random`-policy router over fresh backends: the drop in warm hit
+//! rate (and throughput) is exactly what cache-affine scheduling buys.
+//! With `--json PATH` one record per phase is written (`threads` carries
+//! the backend count).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mc_cluster::{RoutePolicy, Router, RouterConfig, RouterHandle};
+use mc_serve::{Client, OptimizeRequest, ServeConfig, Server, ServerHandle};
+use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
+use xag_network::fuzz::{random_xag, FuzzConfig};
+use xag_network::write_bristol;
+
+fn bristol_text(seed: u64, cfg: &FuzzConfig) -> String {
+    let xag = random_xag(cfg, seed);
+    let mut buf = Vec::new();
+    write_bristol(&xag, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("bristol writer emits ASCII")
+}
+
+fn boot_cluster(
+    backends: usize,
+    workers: usize,
+    policy: RoutePolicy,
+) -> (RouterHandle, Vec<ServerHandle>) {
+    let router = Router::bind(RouterConfig {
+        policy,
+        // Lenient health bounds: bench boxes may stall arbitrarily, and
+        // a spuriously downed backend would corrupt the measurement.
+        heartbeat_timeout: Duration::from_secs(60),
+        miss_threshold: 100,
+        ..RouterConfig::default()
+    })
+    .expect("bind router on an ephemeral port");
+    let join = router.local_addr().to_string();
+    let handles: Vec<ServerHandle> = (0..backends)
+        .map(|_| {
+            Server::bind(ServeConfig {
+                workers,
+                join: Some(join.clone()),
+                heartbeat_interval: Duration::from_millis(100),
+                // The warm phase needs the whole cold working set cached.
+                cache_capacity: 4096,
+                ..ServeConfig::default()
+            })
+            .expect("bind backend on an ephemeral port")
+        })
+        .collect();
+    let mut probe = Client::connect(router.local_addr()).expect("connect probe");
+    for _ in 0..500 {
+        let up = probe
+            .cluster_stats()
+            .expect("cluster_stats")
+            .backends
+            .iter()
+            .filter(|b| b.up)
+            .count();
+        if up >= backends {
+            return (router, handles);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("{backends} backend(s) never registered");
+}
+
+/// Runs one phase; returns `(wall seconds, cached responses, summed
+/// before/after AND counts)`.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    circuits: &Arc<Vec<Vec<String>>>,
+) -> (f64, u64, usize, usize) {
+    let t0 = Instant::now();
+    let totals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..circuits.len())
+            .map(|c| {
+                let circuits = Arc::clone(circuits);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to router");
+                    let mut cached = 0u64;
+                    let mut before = 0usize;
+                    let mut after = 0usize;
+                    for circuit in &circuits[c] {
+                        let result = client
+                            .optimize(OptimizeRequest {
+                                circuit: circuit.clone(),
+                                ..OptimizeRequest::default()
+                            })
+                            .expect("optimize request");
+                        cached += result.cached as u64;
+                        before += result.ands_before;
+                        after += result.ands_after;
+                    }
+                    (cached, before, after)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0, 0), |acc, (c, b, a)| {
+                (acc.0 + c, acc.1 + b, acc.2 + a)
+            })
+    });
+    (t0.elapsed().as_secs_f64(), totals.0, totals.1, totals.2)
+}
+
+struct PhaseRow {
+    name: String,
+    wall_s: f64,
+    ands_before: usize,
+    ands_after: usize,
+    backends: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let max_backends = flag("--backends", 3).max(1);
+    let clients = flag("--clients", 4).max(1);
+    let jobs = flag("--jobs", 8).max(1);
+    let workers = flag("--workers", 2).max(1);
+    let total_jobs = (clients * jobs) as f64;
+
+    // Client-disjoint seeds so the cold phase is all misses.
+    let cfg = FuzzConfig::default();
+    let circuits: Arc<Vec<Vec<String>>> = Arc::new(
+        (0..clients)
+            .map(|c| {
+                (0..jobs)
+                    .map(|j| bristol_text((c * 10_000 + j) as u64, &cfg))
+                    .collect()
+            })
+            .collect(),
+    );
+    println!(
+        "cluster_bench: {clients} clients × {jobs} jobs, {workers} workers/backend, \
+         scaling 1..={max_backends} backends"
+    );
+
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    let mut scaling: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for k in 1..=max_backends {
+        let (router, backends) = boot_cluster(k, workers, RoutePolicy::Affine);
+        let addr = router.local_addr();
+        let (cold_s, cold_cached, before, after) = run_phase(addr, &circuits);
+        assert_eq!(cold_cached, 0, "cold phase must be all misses");
+        let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits);
+        let warm_hit_rate = warm_cached as f64 / total_jobs;
+        assert!(
+            warm_cached == total_jobs as u64,
+            "affine warm phase must be all hits (got {warm_cached}/{total_jobs})"
+        );
+        let mut probe = Client::connect(addr).expect("connect for stats");
+        let cstats = probe.cluster_stats().expect("cluster_stats");
+        println!(
+            "k={k}: cold {:6.1} jobs/s, warm {:7.1} jobs/s, warm hits {:5.1}%, \
+             affinity {:5.1}% ({} retried)",
+            total_jobs / cold_s,
+            total_jobs / warm_s,
+            100.0 * warm_hit_rate,
+            100.0 * cstats.affinity_rate(),
+            cstats.jobs_retried,
+        );
+        scaling.push((k, total_jobs / cold_s, total_jobs / warm_s, warm_hit_rate));
+        rows.push(PhaseRow {
+            name: format!("cold_k{k}"),
+            wall_s: cold_s,
+            ands_before: before,
+            ands_after: after,
+            backends: k,
+        });
+        rows.push(PhaseRow {
+            name: format!("warm_k{k}"),
+            wall_s: warm_s,
+            ands_before: before,
+            ands_after: after,
+            backends: k,
+        });
+        for b in backends {
+            b.shutdown();
+        }
+        router.shutdown();
+    }
+
+    // The affinity-oblivious baseline at full width: same workload, a
+    // `random`-policy router, fresh caches.
+    let (router, backends) = boot_cluster(max_backends, workers, RoutePolicy::Random);
+    let addr = router.local_addr();
+    let (cold_s, _, before, after) = run_phase(addr, &circuits);
+    let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits);
+    let random_hit_rate = warm_cached as f64 / total_jobs;
+    let mut probe = Client::connect(addr).expect("connect for stats");
+    let cstats = probe.cluster_stats().expect("cluster_stats");
+    println!(
+        "random baseline (k={max_backends}): cold {:6.1} jobs/s, warm {:7.1} jobs/s, \
+         warm hits {:5.1}%, affinity {:5.1}%",
+        total_jobs / cold_s,
+        total_jobs / warm_s,
+        100.0 * random_hit_rate,
+        100.0 * cstats.affinity_rate(),
+    );
+    rows.push(PhaseRow {
+        name: format!("warm_random_k{max_backends}"),
+        wall_s: warm_s,
+        ands_before: before,
+        ands_after: after,
+        backends: max_backends,
+    });
+    for b in backends {
+        b.shutdown();
+    }
+    router.shutdown();
+
+    println!("\nscaling curve (affine routing):");
+    println!("  backends  cold jobs/s  warm jobs/s  warm hit rate");
+    for (k, cold_rate, warm_rate, hit) in &scaling {
+        println!(
+            "  {k:>8}  {cold_rate:>11.1}  {warm_rate:>11.1}  {:>12.1}%",
+            100.0 * hit
+        );
+    }
+    if let Some((_, _, affine_warm, affine_hits)) = scaling.last() {
+        println!(
+            "affinity vs random at k={max_backends}: hit rate {:.1}% vs {:.1}%, \
+             warm throughput {:.2}x",
+            100.0 * affine_hits,
+            100.0 * random_hit_rate,
+            affine_warm / (total_jobs / warm_s).max(1e-9),
+        );
+    }
+
+    if let Some(path) = json_path_from_args(&args) {
+        let records: Vec<BenchRecord> = rows
+            .iter()
+            .map(|r| BenchRecord {
+                bench: "cluster_bench".to_string(),
+                name: r.name.clone(),
+                size_before: clients * jobs,
+                size_after: clients * jobs,
+                depth_before: 0,
+                depth_after: 0,
+                mc_before: r.ands_before,
+                mc_after: r.ands_after,
+                wall_s: r.wall_s,
+                threads: r.backends,
+            })
+            .collect();
+        write_bench_json(&path, &records).expect("write --json output");
+        println!("wrote {} records to {}", records.len(), path.display());
+    }
+}

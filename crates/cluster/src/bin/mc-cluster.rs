@@ -1,0 +1,96 @@
+//! The cluster router daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! mc-cluster [--addr HOST:PORT] [--port-file PATH] [--policy affine|random]
+//!            [--replicas N] [--saturation N] [--retries N]
+//!            [--heartbeat-timeout-ms N] [--health-interval-ms N]
+//! ```
+//!
+//! * `--addr` — listen address; port 0 picks an ephemeral port
+//!   (default `127.0.0.1:4520`).
+//! * `--port-file` — write the bound address to this file once
+//!   listening, for scripts that start the router with port 0.
+//! * `--policy` — job placement: `affine` (cache-affine consistent
+//!   hashing, default) or `random` (the affinity-oblivious baseline).
+//! * `--replicas` — virtual points per backend on the hash ring.
+//! * `--saturation` — in-flight jobs per capacity unit before an affine
+//!   target spills to least-loaded placement.
+//! * `--retries` — distinct extra backends a failed dispatch tries.
+//! * `--heartbeat-timeout-ms` — liveness-signal age before a backend is
+//!   marked down (default 2000).
+//! * `--health-interval-ms` — pause between health-check rounds
+//!   (default 500).
+//!
+//! Backends join with `mc-serve --join <this addr>`. The router runs
+//! until a client sends `shutdown` (`mc-client <addr> --shutdown`);
+//! shutting the router down leaves the backends running.
+
+use std::time::Duration;
+
+use mc_cluster::{RoutePolicy, Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mc-cluster [--addr HOST:PORT] [--port-file PATH] [--policy affine|random] \
+         [--replicas N] [--saturation N] [--retries N] [--heartbeat-timeout-ms N] \
+         [--health-interval-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:4520".to_string(),
+        ..RouterConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => config.addr = value(),
+            "--port-file" => port_file = Some(value()),
+            "--policy" => {
+                config.policy = RoutePolicy::from_name(&value()).unwrap_or_else(|| usage())
+            }
+            "--replicas" => config.replicas = value().parse().unwrap_or_else(|_| usage()),
+            "--saturation" => config.saturation = value().parse().unwrap_or_else(|_| usage()),
+            "--retries" => config.retry_limit = value().parse().unwrap_or_else(|_| usage()),
+            "--heartbeat-timeout-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.heartbeat_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.health_interval = Duration::from_millis(ms.max(1));
+            }
+            _ => usage(),
+        }
+    }
+
+    let policy = config.policy;
+    let handle = match Router::bind(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("mc-cluster: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.local_addr();
+    println!(
+        "mc-cluster routing on {addr} (policy {}); join backends with: mc-serve --join {addr}",
+        policy.name()
+    );
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("mc-cluster: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    handle.join();
+    println!("mc-cluster: shut down");
+}

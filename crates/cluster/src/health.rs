@@ -1,0 +1,132 @@
+//! The router's active health checks.
+//!
+//! Heartbeats alone cannot distinguish "backend died" from "backend's
+//! join agent died"; a router-initiated `ping` over a fresh connection
+//! probes the thing that matters — whether the backend still answers the
+//! frame protocol. [`health_loop`] runs three detectors every interval:
+//!
+//! 1. **sweep** — backends whose `last_seen` (registration, heartbeat,
+//!    or successful ping) aged past the heartbeat timeout are marked
+//!    down;
+//! 2. **probe** — every registered backend is pinged with a short
+//!    timeout; a success refreshes liveness (and revives a down
+//!    backend), a failure counts toward the miss threshold;
+//! 3. **evict** — backends that stayed down past the eviction grace are
+//!    deregistered entirely, so ephemeral-port restarts do not leak a
+//!    dead entry (and a doomed probe per round) forever.
+//!
+//! All timeouts are short and per-probe, so one wedged backend delays
+//! the loop by at most `ping_timeout`, not forever.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use mc_serve::protocol::{read_frame, write_frame, Request, Response};
+
+use crate::registry::Registry;
+
+/// One bounded request/response exchange over a fresh connection:
+/// connect, write, and read are each bounded by `timeout`. The shared
+/// plumbing under health probes and the router's stats polling.
+pub(crate) fn poll_addr(addr: &str, request: &Request, timeout: Duration) -> Option<Response> {
+    let addrs = addr.to_socket_addrs().ok()?;
+    for a in addrs {
+        let Ok(mut stream) = TcpStream::connect_timeout(&a, timeout) else {
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        if write_frame(&mut stream, &request.to_payload()).is_err() {
+            continue;
+        }
+        if let Ok(Some(payload)) = read_frame(&mut stream) {
+            if let Ok(response) = Response::from_payload(&payload) {
+                return Some(response);
+            }
+        }
+    }
+    None
+}
+
+/// Sends one `ping` frame to `addr` and waits for the `pong`, bounding
+/// connect, write, and read each by `timeout`.
+pub fn ping_addr(addr: &str, timeout: Duration) -> bool {
+    matches!(
+        poll_addr(addr, &Request::Ping, timeout),
+        Some(Response::Pong)
+    )
+}
+
+/// Knobs of [`health_loop`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Pause between check rounds.
+    pub interval: Duration,
+    /// Per-probe connect/read/write bound.
+    pub ping_timeout: Duration,
+    /// `last_seen` age past which a backend is swept down, milliseconds.
+    pub heartbeat_timeout_ms: u64,
+    /// Consecutive failed probes before a backend is marked down.
+    pub miss_threshold: u32,
+    /// How long a backend may stay down before it is deregistered,
+    /// milliseconds.
+    pub evict_after_ms: u64,
+}
+
+/// Runs sweep + probe + evict rounds until `shutdown` is set; `on_down`
+/// fires once per backend transition to down *and* per eviction, so the
+/// router can discard pooled connections. Sleeps in short slices so
+/// router shutdown is never blocked on a full interval.
+pub(crate) fn health_loop(
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    config: &HealthConfig,
+    on_down: &dyn Fn(u64),
+) {
+    const POLL: Duration = Duration::from_millis(50);
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut remaining = config.interval;
+        while !shutdown.load(Ordering::SeqCst) && !remaining.is_zero() {
+            let slice = remaining.min(POLL);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for id in registry.sweep_stale(config.heartbeat_timeout_ms) {
+            on_down(id);
+        }
+        for backend in registry.snapshot() {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if ping_addr(&backend.addr, config.ping_timeout) {
+                registry.note_ping_ok(backend.id);
+            } else if registry.note_ping_failed(backend.id, config.miss_threshold) {
+                on_down(backend.id);
+            }
+        }
+        for id in registry.evict_dead(config.evict_after_ms) {
+            on_down(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_fails_cleanly_on_a_dead_address() {
+        // A port nothing listens on: bind-then-drop reserves one.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        assert!(!ping_addr(&addr, Duration::from_millis(100)));
+        assert!(!ping_addr("not an address", Duration::from_millis(100)));
+    }
+}

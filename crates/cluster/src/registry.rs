@@ -1,0 +1,470 @@
+//! The backend registry: membership, health state, and load-aware
+//! backend selection.
+//!
+//! One [`Registry`] owns everything the router knows about its backends:
+//! the id ↔ address map, announced capacity, the health state machine,
+//! live load (in-flight dispatches, last-heartbeat queue depth), and the
+//! consistent-hash [`HashRing`](crate::ring::HashRing) the *up* backends
+//! populate.
+//!
+//! # Health state machine
+//!
+//! A backend is **up** from registration. Three things feed the state:
+//!
+//! * **Heartbeats** (backend → router) refresh `last_seen` and carry
+//!   load; a backend whose heartbeats stop is marked down once
+//!   `last_seen` ages past the router's heartbeat timeout (the sweep).
+//! * **Health-check pings** (router → backend) refresh `last_seen` on
+//!   success; consecutive failures past the miss threshold mark the
+//!   backend down. A successful ping or heartbeat (or a re-register)
+//!   brings a down backend back up.
+//! * **Dispatch failures** mark the backend down immediately — the
+//!   router observed a broken connection first-hand, and waiting for the
+//!   health loop would route more jobs into the hole.
+//!
+//! Down backends leave the ring (so affine targets fail over to the ring
+//! successor) but stay registered: recovery re-inserts them and the
+//! consistent hash hands their old keys straight back.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::ring::HashRing;
+
+/// One registered backend, as reported by [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Backend {
+    /// Router-assigned id (stable per address).
+    pub id: u64,
+    /// Address jobs are forwarded to.
+    pub addr: String,
+    /// Announced worker capacity.
+    pub capacity: usize,
+    /// Announced job-queue bound.
+    pub queue_capacity: usize,
+    /// Health state.
+    pub up: bool,
+    /// Consecutive failed health checks since the last success.
+    pub missed: u32,
+    /// Last registration, heartbeat, or successful ping.
+    pub last_seen: Instant,
+    /// Router dispatches currently outstanding.
+    pub in_flight: usize,
+    /// Lifetime dispatches routed to this backend.
+    pub jobs_routed: u64,
+    /// Queue depth from the last heartbeat.
+    pub queue_depth: usize,
+    /// Busy workers from the last heartbeat.
+    pub busy: usize,
+}
+
+/// A routing decision from [`Registry::choose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    /// Chosen backend id.
+    pub id: u64,
+    /// Its address.
+    pub addr: String,
+    /// True iff the choice is the key's ring-affine target (counts
+    /// toward the affinity hit rate).
+    pub affine: bool,
+}
+
+struct State {
+    backends: BTreeMap<u64, Backend>,
+    by_addr: HashMap<String, u64>,
+    ring: HashRing,
+    next_id: u64,
+}
+
+/// Thread-safe backend registry. See the [module docs](self).
+pub struct Registry {
+    state: Mutex<State>,
+    replicas: usize,
+    /// A backend is *saturated* once `in_flight >= capacity * saturation`
+    /// — its workers are all busy and its queue is at least as long as
+    /// the pool — and affine placement falls back to least-loaded.
+    saturation: usize,
+}
+
+impl Registry {
+    /// Creates an empty registry; `replicas` is the virtual-point count
+    /// per backend, `saturation` the in-flight-per-capacity factor past
+    /// which affinity yields to load (min 1).
+    pub fn new(replicas: usize, saturation: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                backends: BTreeMap::new(),
+                by_addr: HashMap::new(),
+                ring: HashRing::new(),
+                next_id: 1,
+            }),
+            replicas: replicas.max(1),
+            saturation: saturation.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("registry lock poisoned")
+    }
+
+    /// Registers (or re-registers) the backend at `addr`; returns its id.
+    /// Re-registration refreshes capacity, clears the missed count, and
+    /// marks the backend up.
+    pub fn register(&self, addr: &str, capacity: usize, queue_capacity: usize) -> u64 {
+        let mut s = self.lock();
+        let id = match s.by_addr.get(addr) {
+            Some(&id) => id,
+            None => {
+                let id = s.next_id;
+                s.next_id += 1;
+                s.by_addr.insert(addr.to_string(), id);
+                s.backends.insert(
+                    id,
+                    Backend {
+                        id,
+                        addr: addr.to_string(),
+                        capacity: capacity.max(1),
+                        queue_capacity,
+                        up: false, // marked up just below
+                        missed: 0,
+                        last_seen: Instant::now(),
+                        in_flight: 0,
+                        jobs_routed: 0,
+                        queue_depth: 0,
+                        busy: 0,
+                    },
+                );
+                id
+            }
+        };
+        let b = s.backends.get_mut(&id).expect("registered above");
+        b.capacity = capacity.max(1);
+        b.queue_capacity = queue_capacity;
+        b.missed = 0;
+        b.last_seen = Instant::now();
+        if !b.up {
+            b.up = true;
+            s.ring.insert(id, self.replicas);
+        }
+        id
+    }
+
+    /// Records a heartbeat. Returns false for an unknown id (the router
+    /// restarted; the backend should re-register).
+    pub fn heartbeat(&self, id: u64, queue_depth: usize, busy: usize) -> bool {
+        let mut s = self.lock();
+        let Some(b) = s.backends.get_mut(&id) else {
+            return false;
+        };
+        b.queue_depth = queue_depth;
+        b.busy = busy;
+        b.missed = 0;
+        b.last_seen = Instant::now();
+        if !b.up {
+            b.up = true;
+            s.ring.insert(id, self.replicas);
+        }
+        true
+    }
+
+    /// Records a successful health-check ping (counts as liveness).
+    pub fn note_ping_ok(&self, id: u64) {
+        let mut s = self.lock();
+        if let Some(b) = s.backends.get_mut(&id) {
+            b.missed = 0;
+            b.last_seen = Instant::now();
+            if !b.up {
+                b.up = true;
+                s.ring.insert(id, self.replicas);
+            }
+        }
+    }
+
+    /// Records a failed health-check ping; marks the backend down once
+    /// `threshold` consecutive checks failed. Returns true iff this call
+    /// transitioned the backend to down.
+    pub fn note_ping_failed(&self, id: u64, threshold: u32) -> bool {
+        let mut s = self.lock();
+        let Some(b) = s.backends.get_mut(&id) else {
+            return false;
+        };
+        b.missed = b.missed.saturating_add(1);
+        if b.up && b.missed >= threshold.max(1) {
+            b.up = false;
+            s.ring.remove(id);
+            return true;
+        }
+        false
+    }
+
+    /// Marks a backend down immediately (a dispatch to it failed).
+    pub fn mark_down(&self, id: u64) {
+        let mut s = self.lock();
+        if let Some(b) = s.backends.get_mut(&id) {
+            if b.up {
+                b.up = false;
+                s.ring.remove(id);
+            }
+        }
+    }
+
+    /// Marks every up backend whose `last_seen` is older than
+    /// `timeout_ms` milliseconds down; returns the newly-down ids.
+    pub fn sweep_stale(&self, timeout_ms: u64) -> Vec<u64> {
+        let mut s = self.lock();
+        let stale: Vec<u64> = s
+            .backends
+            .values()
+            .filter(|b| b.up && b.last_seen.elapsed().as_millis() as u64 > timeout_ms)
+            .map(|b| b.id)
+            .collect();
+        for &id in &stale {
+            if let Some(b) = s.backends.get_mut(&id) {
+                b.up = false;
+            }
+            s.ring.remove(id);
+        }
+        stale
+    }
+
+    /// Deregisters every *down* backend whose `last_seen` is older than
+    /// `evict_after_ms` milliseconds; returns the evicted ids. Without
+    /// this, ephemeral-port backends leak a dead registry entry (and a
+    /// health probe per round, forever) on every restart — a restarted
+    /// backend re-registers under a fresh address, so nothing references
+    /// the old entry again.
+    pub fn evict_dead(&self, evict_after_ms: u64) -> Vec<u64> {
+        let mut s = self.lock();
+        let dead: Vec<(u64, String)> = s
+            .backends
+            .values()
+            .filter(|b| !b.up && b.last_seen.elapsed().as_millis() as u64 > evict_after_ms)
+            .map(|b| (b.id, b.addr.clone()))
+            .collect();
+        for (id, addr) in &dead {
+            s.backends.remove(id);
+            s.by_addr.remove(addr);
+            // Down backends are already off the ring; this is belt and
+            // braces in case eviction policy ever changes.
+            s.ring.remove(*id);
+        }
+        dead.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Accounts a dispatch start (in-flight and lifetime counters).
+    pub fn begin_dispatch(&self, id: u64) {
+        let mut s = self.lock();
+        if let Some(b) = s.backends.get_mut(&id) {
+            b.in_flight += 1;
+            b.jobs_routed += 1;
+        }
+    }
+
+    /// Accounts a dispatch end (success or failure).
+    pub fn end_dispatch(&self, id: u64) {
+        let mut s = self.lock();
+        if let Some(b) = s.backends.get_mut(&id) {
+            b.in_flight = b.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Cache-affine selection: the first up, non-excluded, non-saturated
+    /// backend in the key's ring preference order (`affine` iff it is
+    /// the ring primary); when every preferred backend is saturated, the
+    /// least-loaded up backend. `None` when no up backend remains.
+    pub fn choose(&self, hash: u64, exclude: &[u64]) -> Option<Choice> {
+        let s = self.lock();
+        for (rank, id) in s.ring.preference(hash).into_iter().enumerate() {
+            if exclude.contains(&id) {
+                continue;
+            }
+            let b = &s.backends[&id];
+            if !b.up {
+                continue;
+            }
+            if b.in_flight < b.capacity * self.saturation {
+                return Some(Choice {
+                    id,
+                    addr: b.addr.clone(),
+                    affine: rank == 0,
+                });
+            }
+        }
+        // Everything preferred is saturated (or excluded): spill to the
+        // least-loaded up backend so overload degrades into load
+        // balancing instead of queueing behind one hot backend.
+        s.backends
+            .values()
+            .filter(|b| b.up && !exclude.contains(&b.id))
+            .min_by_key(|b| (b.in_flight, b.id))
+            .map(|b| Choice {
+                id: b.id,
+                addr: b.addr.clone(),
+                affine: false,
+            })
+    }
+
+    /// Affinity-oblivious selection among up, non-excluded backends —
+    /// the `random` routing policy (`pick` is a caller-supplied draw).
+    /// Affinity is still *scored* against the ring so the two policies'
+    /// hit rates are comparable.
+    pub fn choose_random(&self, hash: u64, exclude: &[u64], pick: u64) -> Option<Choice> {
+        let s = self.lock();
+        let up: Vec<&Backend> = s
+            .backends
+            .values()
+            .filter(|b| b.up && !exclude.contains(&b.id))
+            .collect();
+        if up.is_empty() {
+            return None;
+        }
+        let b = up[(pick % up.len() as u64) as usize];
+        Some(Choice {
+            id: b.id,
+            addr: b.addr.clone(),
+            affine: s.ring.primary(hash) == Some(b.id),
+        })
+    }
+
+    /// All registered backends, id order.
+    pub fn snapshot(&self) -> Vec<Backend> {
+        self.lock().backends.values().cloned().collect()
+    }
+
+    /// Registered backends currently up.
+    pub fn up_count(&self) -> usize {
+        self.lock().backends.values().filter(|b| b.up).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::DEFAULT_REPLICAS;
+
+    fn registry() -> Registry {
+        Registry::new(DEFAULT_REPLICAS, 2)
+    }
+
+    #[test]
+    fn registration_is_stable_per_address() {
+        let r = registry();
+        let a = r.register("127.0.0.1:1000", 4, 64);
+        let b = r.register("127.0.0.1:2000", 4, 64);
+        assert_ne!(a, b);
+        assert_eq!(r.register("127.0.0.1:1000", 8, 64), a, "same addr, same id");
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].capacity, 8, "re-register refreshes capacity");
+        assert_eq!(r.up_count(), 2);
+    }
+
+    #[test]
+    fn missed_pings_mark_down_and_recovery_marks_up() {
+        let r = registry();
+        let id = r.register("127.0.0.1:1000", 2, 64);
+        assert!(!r.note_ping_failed(id, 3));
+        assert!(!r.note_ping_failed(id, 3));
+        assert!(
+            r.note_ping_failed(id, 3),
+            "third miss crosses the threshold"
+        );
+        assert_eq!(r.up_count(), 0);
+        assert_eq!(r.choose(99, &[]), None, "no up backend to choose");
+        // A heartbeat brings it back.
+        assert!(r.heartbeat(id, 1, 1));
+        assert_eq!(r.up_count(), 1);
+        assert!(r.choose(99, &[]).is_some());
+        // Unknown ids are rejected so stale backends re-register.
+        assert!(!r.heartbeat(id + 100, 0, 0));
+    }
+
+    #[test]
+    fn sweep_marks_stale_backends_down() {
+        let r = registry();
+        let id = r.register("127.0.0.1:1000", 2, 64);
+        assert!(r.sweep_stale(60_000).is_empty(), "fresh backend survives");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(r.sweep_stale(10), vec![id]);
+        assert_eq!(r.up_count(), 0);
+    }
+
+    #[test]
+    fn long_dead_backends_are_evicted_but_fresh_down_ones_survive() {
+        let r = registry();
+        let dead = r.register("127.0.0.1:1000", 2, 64);
+        let alive = r.register("127.0.0.1:2000", 2, 64);
+        r.mark_down(dead);
+        assert!(
+            r.evict_dead(60_000).is_empty(),
+            "a freshly-down backend stays registered (it may recover)"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(r.evict_dead(10), vec![dead]);
+        assert_eq!(r.snapshot().len(), 1, "only the live backend remains");
+        assert!(!r.heartbeat(dead, 0, 0), "evicted id is unknown");
+        // The evicted address re-registers as a brand-new backend.
+        let again = r.register("127.0.0.1:1000", 2, 64);
+        assert_ne!(again, dead);
+        assert_ne!(again, alive);
+        assert_eq!(r.up_count(), 2);
+    }
+
+    #[test]
+    fn affine_choice_follows_the_ring_and_failover_excludes() {
+        let r = registry();
+        let a = r.register("127.0.0.1:1000", 2, 64);
+        let b = r.register("127.0.0.1:2000", 2, 64);
+        for hash in 0..100u64 {
+            let h = hash.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let first = r.choose(h, &[]).unwrap();
+            assert!(first.affine, "unloaded cluster always routes affine");
+            // Excluding the affine target falls over to the other backend.
+            let other = r.choose(h, &[first.id]).unwrap();
+            assert_ne!(other.id, first.id);
+            assert!(!other.affine);
+            assert!([a, b].contains(&other.id));
+        }
+    }
+
+    #[test]
+    fn saturation_spills_to_the_least_loaded_backend() {
+        let r = registry();
+        let a = r.register("127.0.0.1:1000", 1, 64); // capacity 1, saturates at 2
+        let b = r.register("127.0.0.1:2000", 1, 64);
+        // Find a hash whose affine target is `a`.
+        let hash = (0..)
+            .map(|k: u64| k.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .find(|&h| r.choose(h, &[]).unwrap().id == a)
+            .unwrap();
+        r.begin_dispatch(a);
+        r.begin_dispatch(a);
+        let spilled = r.choose(hash, &[]).unwrap();
+        assert_eq!(spilled.id, b, "saturated affine target spills");
+        assert!(!spilled.affine);
+        r.end_dispatch(a);
+        let back = r.choose(hash, &[]).unwrap();
+        assert_eq!(back.id, a, "draining in-flight restores affinity");
+        assert!(back.affine);
+    }
+
+    #[test]
+    fn random_choice_scores_affinity_against_the_ring() {
+        let r = registry();
+        let _ = r.register("127.0.0.1:1000", 1, 64);
+        let _ = r.register("127.0.0.1:2000", 1, 64);
+        let hash = 0xdead_beef_u64;
+        let mut affine_seen = 0;
+        for pick in 0..16u64 {
+            let c = r.choose_random(hash, &[], pick).unwrap();
+            if c.affine {
+                affine_seen += 1;
+            }
+        }
+        // Two backends, alternating picks: exactly half the draws land
+        // on the ring primary.
+        assert_eq!(affine_seen, 8);
+    }
+}

@@ -1,0 +1,633 @@
+//! The `mc-cluster` router: one frame-protocol endpoint in front of N
+//! `mc-serve` backends.
+//!
+//! # Drop-in contract
+//!
+//! Clients speak to the router exactly as they would to a single
+//! backend — same frames, same semantics (`mc-client` pointed at the
+//! router just works). Backends additionally speak the registration
+//! handshake: `register` once, `heartbeat` periodically.
+//!
+//! # Routing
+//!
+//! For every `optimize` the router parses the circuit (a malformed
+//! upload is refused here and never consumes a backend slot) and
+//! computes the **same canonical job key** the backend's semantic cache
+//! will compute — `xag_mc::canon::job_key`, hoisted into the core crate
+//! precisely so the two tiers agree bit for bit. The key's fingerprint
+//! is consistent-hashed onto the backend ring: isomorphic resubmissions
+//! land on the backend that already has the answer cached. The affine
+//! target is bypassed only when it is down or saturated (then:
+//! least-loaded fallback, counted in `affinity_fallbacks`).
+//!
+//! The key is computed **once, at the router** — backends recompute it
+//! for their local cache, but no coordination is needed: canonicalization
+//! is deterministic, so agreement is structural, not negotiated.
+//!
+//! # Failover
+//!
+//! A dispatch that fails at the transport level (connect refused,
+//! connection died mid-job) marks the backend down immediately, and the
+//! job is retried on the next backend in ring order — safe because
+//! `optimize` is idempotent (same key, same result; at worst a surviving
+//! backend recomputes what the dead one never delivered). A backend
+//! that answers "shutting down" is treated the same way. Only after
+//! `retry_limit` distinct backends failed does the client see an error.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mc_serve::client::Client;
+use mc_serve::protocol::{
+    read_frame, write_frame, BackendStats, ClusterStatsInfo, FlowTiming, FrameError,
+    OptimizeRequest, Request, Response, StatsInfo, StatusInfo, ERR_JOB_DROPPED, ERR_SHUTTING_DOWN,
+    MAX_JOB_ROUNDS,
+};
+use xag_circuits::parse_circuit;
+use xag_mc::canon::{fingerprint, job_key};
+
+use crate::health::{health_loop, poll_addr, HealthConfig};
+use crate::registry::{Backend, Choice, Registry};
+use crate::ring::DEFAULT_REPLICAS;
+
+/// How `optimize` jobs are placed onto backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Cache-affine consistent hashing (the default): the canonical job
+    /// key picks the backend, so isomorphic resubmissions hit a warm
+    /// cache.
+    #[default]
+    Affine,
+    /// Uniform random placement among up backends — the baseline
+    /// `cluster_bench` compares affinity against.
+    Random,
+}
+
+impl RoutePolicy {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::Affine => "affine",
+            RoutePolicy::Random => "random",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "affine" => Some(RoutePolicy::Affine),
+            "random" => Some(RoutePolicy::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of [`Router::bind`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Virtual points per backend on the consistent-hash ring.
+    pub replicas: usize,
+    /// In-flight-per-capacity factor past which an affine target is
+    /// considered saturated and the job spills to the least-loaded
+    /// backend.
+    pub saturation: usize,
+    /// Age of the last liveness signal past which a backend is marked
+    /// down.
+    pub heartbeat_timeout: Duration,
+    /// Pause between health-check rounds.
+    pub health_interval: Duration,
+    /// Per-probe bound of a health-check ping.
+    pub ping_timeout: Duration,
+    /// Consecutive failed pings before a backend is marked down.
+    pub miss_threshold: u32,
+    /// How long a backend may stay down before it is deregistered
+    /// entirely (ephemeral-port restarts would otherwise leak a dead
+    /// registry entry per restart).
+    pub evict_after: Duration,
+    /// Distinct extra backends a failed dispatch is retried on.
+    pub retry_limit: usize,
+    /// Placement policy.
+    pub policy: RoutePolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: DEFAULT_REPLICAS,
+            saturation: 2,
+            heartbeat_timeout: Duration::from_secs(2),
+            health_interval: Duration::from_millis(500),
+            ping_timeout: Duration::from_millis(250),
+            miss_threshold: 3,
+            evict_after: Duration::from_secs(60),
+            retry_limit: 3,
+            policy: RoutePolicy::Affine,
+        }
+    }
+}
+
+struct RouterShared {
+    registry: Registry,
+    shutdown: AtomicBool,
+    started: Instant,
+    jobs_routed: AtomicU64,
+    jobs_retried: AtomicU64,
+    affinity_hits: AtomicU64,
+    affinity_fallbacks: AtomicU64,
+    /// Idle pooled connections per backend; a warm connection saves the
+    /// connect round trip on every affine re-dispatch.
+    pool: Mutex<HashMap<u64, Vec<Client>>>,
+    /// Deterministic draw source for [`RoutePolicy::Random`].
+    rng: Mutex<mc_rng::Rng>,
+    policy: RoutePolicy,
+    retry_limit: usize,
+    stats_poll_timeout: Duration,
+}
+
+/// Per-backend pooled-connection bound; beyond it connections are
+/// dropped rather than parked.
+const POOL_PER_BACKEND: usize = 8;
+
+impl RouterShared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn pool_take(&self, id: u64) -> Option<Client> {
+        self.pool
+            .lock()
+            .expect("pool lock poisoned")
+            .get_mut(&id)
+            .and_then(Vec::pop)
+    }
+
+    fn pool_put(&self, id: u64, client: Client) {
+        let mut pool = self.pool.lock().expect("pool lock poisoned");
+        let slot = pool.entry(id).or_default();
+        if slot.len() < POOL_PER_BACKEND {
+            slot.push(client);
+        }
+    }
+
+    fn pool_drop(&self, id: u64) {
+        self.pool.lock().expect("pool lock poisoned").remove(&id);
+    }
+
+    fn draw(&self) -> u64 {
+        self.rng.lock().expect("rng lock poisoned").next_u64()
+    }
+}
+
+/// The router daemon's entry point; see [`Router::bind`].
+pub struct Router;
+
+impl Router {
+    /// Binds the listener, spawns the health checker and the accept
+    /// loop, and returns a handle to the running router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bad address, port in use, …).
+    pub fn bind(config: RouterConfig) -> std::io::Result<RouterHandle> {
+        let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(RouterShared {
+            registry: Registry::new(config.replicas, config.saturation),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            jobs_routed: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+            affinity_fallbacks: AtomicU64::new(0),
+            pool: Mutex::new(HashMap::new()),
+            rng: Mutex::new(mc_rng::Rng::seed_from_u64(0x6d63_636c_7573_7465)),
+            policy: config.policy,
+            retry_limit: config.retry_limit,
+            stats_poll_timeout: Duration::from_secs(2),
+        });
+
+        let health = HealthConfig {
+            interval: config.health_interval,
+            ping_timeout: config.ping_timeout,
+            heartbeat_timeout_ms: config.heartbeat_timeout.as_millis() as u64,
+            miss_threshold: config.miss_threshold,
+            evict_after_ms: config.evict_after.as_millis() as u64,
+        };
+        let mut threads = Vec::with_capacity(2);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-cluster-health".to_string())
+                    .spawn(move || {
+                        // Downed or evicted backends take their pooled
+                        // connections with them.
+                        let on_down = |id: u64| shared.pool_drop(id);
+                        health_loop(&shared.registry, &shared.shutdown, &health, &on_down);
+                    })
+                    .expect("spawn health thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-cluster-listener".to_string())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .expect("spawn listener thread"),
+            );
+        }
+
+        Ok(RouterHandle {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// A running router: its bound address and the means to stop it.
+pub struct RouterHandle {
+    local_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the router stops.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Initiates shutdown and waits for the listener and the health
+    /// checker to exit. Backends are left running — the router owns
+    /// routing, not backend lifecycles.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<RouterShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("mc-cluster-conn".to_string())
+                    .spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        connection_loop(stream, &shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(&mut *stream, &response.to_payload()).is_ok()
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(FrameError::Oversized(n)) => {
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        message: FrameError::Oversized(n).to_string(),
+                    },
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        let request = match Request::from_payload(&payload) {
+            Ok(request) => request,
+            Err(message) => {
+                if !send(&mut stream, &Response::Error { message }) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Register(r) => Response::Registered {
+                backend_id: shared
+                    .registry
+                    .register(&r.addr, r.capacity, r.queue_capacity),
+            },
+            Request::Heartbeat(h) => {
+                if shared
+                    .registry
+                    .heartbeat(h.backend_id, h.queue_depth, h.busy)
+                {
+                    Response::Pong
+                } else {
+                    Response::Error {
+                        message: format!(
+                            "unknown backend id {} (router restarted?): re-register",
+                            h.backend_id
+                        ),
+                    }
+                }
+            }
+            Request::Status => Response::Status(aggregate_status(shared)),
+            Request::Stats => Response::Stats(aggregate_stats(shared)),
+            Request::ClusterStats => Response::ClusterStats(cluster_stats(shared)),
+            Request::Shutdown => {
+                shared.begin_shutdown();
+                let _ = send(&mut stream, &Response::ShuttingDown);
+                return;
+            }
+            Request::Optimize(req) => route_optimize(shared, req),
+        };
+        if !send(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+/// One dispatch attempt's outcome.
+enum Forward {
+    /// The backend answered; pass it to the client.
+    Reply(Response),
+    /// The backend is unusable for this job; fail over.
+    Retry,
+}
+
+fn is_shutdown_error(message: &str) -> bool {
+    // Exact matches against the protocol's stable shutdown messages —
+    // shared constants, so the serve tier cannot reword them without
+    // this check following.
+    message == ERR_SHUTTING_DOWN || message == ERR_JOB_DROPPED
+}
+
+/// Sends the job to one backend, reusing a pooled connection when
+/// available (one reconnect attempt covers stale pool entries).
+fn forward(shared: &Arc<RouterShared>, choice: &Choice, req: &OptimizeRequest) -> Forward {
+    let request = Request::Optimize(req.clone());
+    let mut fresh = false;
+    let mut client = match shared.pool_take(choice.id) {
+        Some(client) => client,
+        None => {
+            fresh = true;
+            match Client::connect(&choice.addr) {
+                Ok(client) => client,
+                Err(_) => return Forward::Retry,
+            }
+        }
+    };
+    loop {
+        match client.request(&request) {
+            Ok(Response::Result(r)) => {
+                shared.pool_put(choice.id, client);
+                return Forward::Reply(Response::Result(r));
+            }
+            Ok(Response::Error { message }) if is_shutdown_error(&message) => {
+                return Forward::Retry;
+            }
+            Ok(Response::Error { message }) => {
+                // A live backend rejected the job for a job-level reason;
+                // retrying elsewhere would just repeat it.
+                shared.pool_put(choice.id, client);
+                return Forward::Reply(Response::Error { message });
+            }
+            Ok(_) => return Forward::Retry,
+            Err(_) if !fresh => {
+                // The pooled connection was stale; one fresh connection
+                // distinguishes "idle connection aged out" from "backend
+                // is gone".
+                fresh = true;
+                match Client::connect(&choice.addr) {
+                    Ok(c) => {
+                        client = c;
+                        continue;
+                    }
+                    Err(_) => return Forward::Retry,
+                }
+            }
+            Err(_) => return Forward::Retry,
+        }
+    }
+}
+
+fn route_optimize(shared: &Arc<RouterShared>, req: OptimizeRequest) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            message: "router is shutting down".to_string(),
+        };
+    }
+    // Parse here: a malformed upload is a protocol error at the edge and
+    // never consumes a backend dispatch.
+    let xag = match parse_circuit(&req.circuit, req.format) {
+        Ok(xag) => xag,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    // Clamp exactly like the backend will, so both tiers derive the same
+    // canonical key bytes.
+    let max_rounds = req.max_rounds.clamp(1, MAX_JOB_ROUNDS);
+    let hash = fingerprint(&job_key(&xag, req.flow.name(), max_rounds));
+
+    let mut excluded: Vec<u64> = Vec::new();
+    for _attempt in 0..=shared.retry_limit {
+        let choice = match shared.policy {
+            RoutePolicy::Affine => shared.registry.choose(hash, &excluded),
+            RoutePolicy::Random => shared
+                .registry
+                .choose_random(hash, &excluded, shared.draw()),
+        };
+        let Some(choice) = choice else {
+            return Response::Error {
+                message: "no live backend in the cluster".to_string(),
+            };
+        };
+        if choice.affine {
+            shared.affinity_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.affinity_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.registry.begin_dispatch(choice.id);
+        let outcome = forward(shared, &choice, &req);
+        shared.registry.end_dispatch(choice.id);
+        match outcome {
+            Forward::Reply(response) => {
+                shared.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                return response;
+            }
+            Forward::Retry => {
+                // First-hand failure: down it now; the health loop will
+                // notice recovery later.
+                shared.registry.mark_down(choice.id);
+                shared.pool_drop(choice.id);
+                shared.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                excluded.push(choice.id);
+            }
+        }
+    }
+    Response::Error {
+        message: format!(
+            "job failed on {} backend(s); no further retry",
+            excluded.len()
+        ),
+    }
+}
+
+/// Polls every *up* backend's `stats` concurrently (a wedged backend
+/// costs one timeout, not one timeout per backend) and returns each
+/// registry row paired with its poll result (`None` for down or
+/// unresponsive backends).
+fn poll_all_stats(shared: &Arc<RouterShared>) -> Vec<(Backend, Option<StatsInfo>)> {
+    let snapshot = shared.registry.snapshot();
+    std::thread::scope(|s| {
+        let polls: Vec<_> = snapshot
+            .iter()
+            .map(|b| {
+                let addr = b.addr.clone();
+                let up = b.up;
+                let timeout = shared.stats_poll_timeout;
+                s.spawn(move || {
+                    if !up {
+                        return None;
+                    }
+                    match poll_addr(&addr, &Request::Stats, timeout) {
+                        Some(Response::Stats(stats)) => Some(stats),
+                        _ => None,
+                    }
+                })
+            })
+            .collect();
+        snapshot
+            .into_iter()
+            .zip(polls)
+            .map(|(b, poll)| (b, poll.join().expect("stats poll thread")))
+            .collect()
+    })
+}
+
+/// `status` against a router: heartbeat-carried occupancy summed over up
+/// backends — no live polling, so it is always fast.
+fn aggregate_status(shared: &Arc<RouterShared>) -> StatusInfo {
+    let mut status = StatusInfo {
+        queue_depth: 0,
+        queue_capacity: 0,
+        workers: 0,
+        busy: 0,
+    };
+    for b in shared.registry.snapshot() {
+        if b.up {
+            status.queue_depth += b.queue_depth;
+            status.queue_capacity += b.queue_capacity;
+            status.workers += b.capacity;
+            status.busy += b.busy;
+        }
+    }
+    status
+}
+
+/// `stats` against a router: live-polled backend counters summed, so
+/// `mc-client --stats` shows cluster-wide cache behavior unchanged.
+fn aggregate_stats(shared: &Arc<RouterShared>) -> StatsInfo {
+    let mut total = StatsInfo {
+        uptime_secs: shared.started.elapsed().as_secs(),
+        jobs_served: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_entries: 0,
+        cache_capacity: 0,
+        queue_depth: 0,
+        flows: Vec::new(),
+    };
+    let mut flows: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (_, polled) in poll_all_stats(shared) {
+        let Some(s) = polled else {
+            continue;
+        };
+        total.jobs_served += s.jobs_served;
+        total.cache_hits += s.cache_hits;
+        total.cache_misses += s.cache_misses;
+        total.cache_evictions += s.cache_evictions;
+        total.cache_entries += s.cache_entries;
+        total.cache_capacity += s.cache_capacity;
+        total.queue_depth += s.queue_depth;
+        for t in s.flows {
+            let slot = flows.entry(t.flow).or_insert((0, 0));
+            slot.0 += t.jobs;
+            slot.1 += t.total_millis;
+        }
+    }
+    total.flows = flows
+        .into_iter()
+        .map(|(flow, (jobs, total_millis))| FlowTiming {
+            flow,
+            jobs,
+            total_millis,
+        })
+        .collect();
+    total
+}
+
+fn cluster_stats(shared: &Arc<RouterShared>) -> ClusterStatsInfo {
+    let backends = poll_all_stats(shared)
+        .into_iter()
+        .map(|(b, polled)| {
+            // Live cache counters only from live backends; a down backend
+            // reports registry state with zeroed poll fields.
+            let (jobs_served, cache_hits, cache_misses) = polled
+                .map(|s| (s.jobs_served, s.cache_hits, s.cache_misses))
+                .unwrap_or_default();
+            BackendStats {
+                id: b.id,
+                addr: b.addr,
+                up: b.up,
+                capacity: b.capacity,
+                in_flight: b.in_flight,
+                jobs_routed: b.jobs_routed,
+                queue_depth: b.queue_depth,
+                busy: b.busy,
+                jobs_served,
+                cache_hits,
+                cache_misses,
+            }
+        })
+        .collect();
+    ClusterStatsInfo {
+        uptime_secs: shared.started.elapsed().as_secs(),
+        jobs_routed: shared.jobs_routed.load(Ordering::Relaxed),
+        jobs_retried: shared.jobs_retried.load(Ordering::Relaxed),
+        affinity_hits: shared.affinity_hits.load(Ordering::Relaxed),
+        affinity_fallbacks: shared.affinity_fallbacks.load(Ordering::Relaxed),
+        backends,
+    }
+}

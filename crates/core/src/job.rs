@@ -55,6 +55,11 @@ pub enum FlowKind {
     /// [`Pipeline::compress`] — generic size compression (the ABC-script
     /// stand-in).
     Compress,
+    /// [`Pipeline::from_params`] at its fast 4-cut setting — the
+    /// parameterized flow the [`crate::McOptimizer`] facade builds,
+    /// exposed on the wire as a lighter alternative to the full
+    /// small-then-wide cut schedule of the paper flow.
+    FromParams,
 }
 
 impl FlowKind {
@@ -63,14 +68,20 @@ impl FlowKind {
         match self {
             FlowKind::Paper => "paper",
             FlowKind::Compress => "compress",
+            FlowKind::FromParams => "from_params",
         }
     }
+
+    /// Every flow, in wire-name order — service tiers use this to report
+    /// a complete per-flow breakdown (zero-filled for flows not yet run).
+    pub const ALL: [FlowKind; 3] = [FlowKind::Paper, FlowKind::Compress, FlowKind::FromParams];
 
     /// Parses a flow name; accepts the historical `paper_flow` spelling.
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "paper" | "paper_flow" => Some(FlowKind::Paper),
             "compress" => Some(FlowKind::Compress),
+            "from_params" => Some(FlowKind::FromParams),
             _ => None,
         }
     }
@@ -80,6 +91,17 @@ impl FlowKind {
         let flow = match self {
             FlowKind::Paper => Pipeline::paper_flow(),
             FlowKind::Compress => Pipeline::compress(),
+            FlowKind::FromParams => {
+                let defaults = crate::RewriteParams::default();
+                let params = crate::RewriteParams {
+                    cut_params: xag_cuts::CutParams {
+                        cut_size: 4,
+                        ..defaults.cut_params
+                    },
+                    ..defaults
+                };
+                Pipeline::from_params(&params)
+            }
         };
         flow.max_rounds(max_rounds.max(1))
     }
@@ -180,7 +202,7 @@ mod tests {
 
     #[test]
     fn flow_names_round_trip_and_accept_alias() {
-        for f in [FlowKind::Paper, FlowKind::Compress] {
+        for f in FlowKind::ALL {
             assert_eq!(FlowKind::from_name(f.name()), Some(f));
         }
         assert_eq!(FlowKind::from_name("paper_flow"), Some(FlowKind::Paper));
@@ -188,8 +210,8 @@ mod tests {
     }
 
     #[test]
-    fn both_flows_preserve_function_and_report_counts() {
-        for flow in [FlowKind::Paper, FlowKind::Compress] {
+    fn every_flow_preserves_function_and_reports_counts() {
+        for flow in FlowKind::ALL {
             let mut xag = redundant_network();
             let reference = xag.cleanup();
             let mut ctx = OptContext::new();

@@ -99,6 +99,7 @@ use xag_network::{Xag, XagFragment};
 use xag_synth::SynthConfig;
 use xag_tt::Tt;
 
+pub mod canon;
 mod context;
 mod cost;
 mod job;
@@ -108,6 +109,7 @@ pub mod shard;
 mod stats;
 mod xor_reduce;
 
+pub use canon::{canonical_form, fingerprint, job_key};
 pub use context::OptContext;
 pub use cost::{protocol_costs, ProtocolCosts};
 pub use job::{run_job, FlowKind, JobResult, JobSpec};

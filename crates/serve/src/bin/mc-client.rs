@@ -4,11 +4,17 @@
 //!
 //! ```text
 //! mc-client <addr> [CIRCUIT.txt | --bench NAME | --fuzz SEED]
-//!           [--flow paper|compress] [--threads N] [--max-rounds N]
+//!           [--flow paper|compress|from_params] [--threads N] [--max-rounds N]
 //!           [--format bristol|verilog] [--output bristol|verilog]
-//!           [--out PATH|-]
-//! mc-client <addr> --status | --stats | --shutdown
+//!           [--out PATH|-] [--retry N]
+//! mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown
 //! ```
+//!
+//! `--retry N` retries a refused initial connection up to `N` times with
+//! bounded exponential backoff — for scripts racing a daemon that is
+//! still booting. `<addr>` may equally be an `mc-cluster` router: the
+//! protocol is identical, and `--cluster-stats` shows the router's
+//! per-backend breakdown.
 //!
 //! Circuit sources (exactly one):
 //!
@@ -32,9 +38,9 @@ use xag_network::{write_bristol, Xag};
 fn usage() -> ! {
     eprintln!(
         "usage: mc-client <addr> [CIRCUIT | --bench NAME | --fuzz SEED] \
-         [--flow paper|compress] [--threads N] [--max-rounds N] \
-         [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-]\n\
-         \x20      mc-client <addr> --status | --stats | --shutdown"
+         [--flow paper|compress|from_params] [--threads N] [--max-rounds N] \
+         [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-] [--retry N]\n\
+         \x20      mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown"
     );
     std::process::exit(2);
 }
@@ -75,6 +81,7 @@ fn main() {
     let mut output = CircuitFormat::Bristol;
     let mut out: Option<String> = None;
     let mut action: Option<&str> = None;
+    let mut retries = 0usize;
 
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -105,8 +112,11 @@ fn main() {
                     .unwrap_or_else(|| fail(format_args!("unknown output format: {name}")));
             }
             "--out" => out = Some(value()),
+            "--retry" => retries = value().parse().unwrap_or_else(|_| usage()),
             "--status" => action = Some("status"),
             "--stats" => action = Some("stats"),
+            "--cluster-stats" => action = Some("cluster-stats"),
+            "--ping" => action = Some("ping"),
             "--shutdown" => action = Some("shutdown"),
             path if !path.starts_with("--") => {
                 let text = std::fs::read_to_string(path)
@@ -117,10 +127,45 @@ fn main() {
         }
     }
 
-    let mut client = Client::connect(&addr)
+    let mut client = Client::connect_with_retry(&addr, retries)
         .unwrap_or_else(|e| fail(format_args!("cannot connect to {addr}: {e}")));
 
     match action {
+        Some("ping") => {
+            let rtt = client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong in {} us", rtt.as_micros());
+            return;
+        }
+        Some("cluster-stats") => {
+            let c = client.cluster_stats().unwrap_or_else(|e| fail(e));
+            println!("uptime        : {}s", c.uptime_secs);
+            println!("jobs_routed   : {}", c.jobs_routed);
+            println!("jobs_retried  : {}", c.jobs_retried);
+            println!(
+                "affinity      : {} hits / {} fallbacks ({:.1}%)",
+                c.affinity_hits,
+                c.affinity_fallbacks,
+                100.0 * c.affinity_rate()
+            );
+            for b in &c.backends {
+                println!(
+                    "backend {} {} [{}]: cap {}, in-flight {}, routed {}, queue {}, busy {}, \
+                     served {}, cache {}/{} hits/misses",
+                    b.id,
+                    b.addr,
+                    if b.up { "up" } else { "down" },
+                    b.capacity,
+                    b.in_flight,
+                    b.jobs_routed,
+                    b.queue_depth,
+                    b.busy,
+                    b.jobs_served,
+                    b.cache_hits,
+                    b.cache_misses,
+                );
+            }
+            return;
+        }
         Some("status") => {
             let s = client.status().unwrap_or_else(|e| fail(e));
             println!(
@@ -131,6 +176,7 @@ fn main() {
         }
         Some("stats") => {
             let s = client.stats().unwrap_or_else(|e| fail(e));
+            println!("uptime        : {}s", s.uptime_secs);
             println!("jobs_served   : {}", s.jobs_served);
             println!("cache_hits    : {}", s.cache_hits);
             println!("cache_misses  : {}", s.cache_misses);

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--port-file PATH]
+//!          [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]
 //! ```
 //!
 //! * `--addr` — listen address; port 0 picks an ephemeral port
@@ -15,6 +16,13 @@
 //! * `--cache` — semantic-result-cache bound, LRU (default 128).
 //! * `--port-file` — write the bound address to this file once
 //!   listening, for scripts that start the daemon with port 0.
+//! * `--join` — address of an `mc-cluster` router; the daemon registers
+//!   itself there and heartbeats until it shuts down.
+//! * `--advertise` — the address to announce to the router (required
+//!   with `--join` when binding a wildcard address; defaults to the
+//!   bound address).
+//! * `--heartbeat-ms` — heartbeat interval toward the joined router
+//!   (default 500).
 //!
 //! The daemon runs until a client sends a `shutdown` request (e.g.
 //! `mc-client <addr> --shutdown`).
@@ -24,7 +32,7 @@ use mc_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-         [--port-file PATH]"
+         [--port-file PATH] [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +54,12 @@ fn main() {
             "--queue" => config.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--port-file" => port_file = Some(value()),
+            "--join" => config.join = Some(value()),
+            "--advertise" => config.advertise = Some(value()),
+            "--heartbeat-ms" => {
+                let millis: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.heartbeat_interval = std::time::Duration::from_millis(millis.max(1));
+            }
             _ => usage(),
         }
     }
@@ -62,6 +76,9 @@ fn main() {
     };
     let addr = handle.local_addr();
     println!("mc-serve listening on {addr} ({workers} workers, queue {queue}, cache {cache})");
+    if let Some(router) = handle.joined_router() {
+        println!("mc-serve joining cluster router at {router}");
+    }
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, addr.to_string()) {
             eprintln!("mc-serve: cannot write port file {path}: {e}");

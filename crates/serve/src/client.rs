@@ -7,10 +7,11 @@
 //! `serve_bench` load generator are all built on this type.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, OptimizeRequest, OptimizeResult, Request, Response,
-    StatsInfo, StatusInfo,
+    read_frame, write_frame, ClusterStatsInfo, FrameError, HeartbeatInfo, OptimizeRequest,
+    OptimizeResult, RegisterInfo, Request, Response, StatsInfo, StatusInfo,
 };
 
 /// Failure of a client call.
@@ -77,6 +78,34 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Connects like [`Client::connect`], but retries a refused or failed
+    /// connection up to `retries` extra times with bounded exponential
+    /// backoff (50 ms doubling, capped at 1.6 s per wait) — for scripts
+    /// racing a daemon that is still booting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection failure once the attempts are
+    /// exhausted.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        retries: usize,
+    ) -> std::io::Result<Client> {
+        let mut delay = Duration::from_millis(50);
+        let mut attempt = 0;
+        loop {
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt >= retries => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(1600));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Sends one request and reads its response.
     ///
     /// # Errors
@@ -130,6 +159,95 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsInfo, ClientError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe: sends `ping` and measures the round-trip time to
+    /// the `pong`. The router's health checks and `mc-client --ping` are
+    /// built on this.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<Duration, ClientError> {
+        let t0 = Instant::now();
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(t0.elapsed()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Backend → router: announces `addr` (where the router should send
+    /// jobs) and `capacity` (worker-pool size); returns the assigned
+    /// backend id. Re-registering the same address returns the same id.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a plain `mc-serve` daemon answers with a
+    /// server error naming itself.
+    pub fn register(
+        &mut self,
+        addr: &str,
+        capacity: usize,
+        queue_capacity: usize,
+    ) -> Result<u64, ClientError> {
+        let request = Request::Register(RegisterInfo {
+            addr: addr.to_string(),
+            capacity,
+            queue_capacity,
+        });
+        match self.request(&request)? {
+            Response::Registered { backend_id } => Ok(backend_id),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Backend → router: reports liveness and load under the id from
+    /// [`Client::register`].
+    ///
+    /// # Errors
+    ///
+    /// A router that no longer knows the id (it restarted) answers with
+    /// a server error — the caller should reconnect and re-register.
+    pub fn heartbeat(
+        &mut self,
+        backend_id: u64,
+        queue_depth: usize,
+        busy: usize,
+    ) -> Result<(), ClientError> {
+        let request = Request::Heartbeat(HeartbeatInfo {
+            backend_id,
+            queue_depth,
+            busy,
+        });
+        match self.request(&request)? {
+            Response::Pong => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries a router's per-backend breakdown (affinity counters, per
+    /// backend health/load/cache state).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a plain backend answers with a server error.
+    pub fn cluster_stats(&mut self) -> Result<ClusterStatsInfo, ClientError> {
+        match self.request(&Request::ClusterStats)? {
+            Response::ClusterStats(stats) => Ok(stats),
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response: {other:?}"

@@ -59,6 +59,7 @@
 
 pub mod cache;
 pub mod client;
+mod join;
 pub mod json;
 pub mod protocol;
 pub mod queue;
@@ -67,8 +68,9 @@ pub mod server;
 pub use cache::{canonical_form, fingerprint, job_key, CacheEntry, SemanticCache};
 pub use client::{Client, ClientError};
 pub use protocol::{
-    read_frame, write_frame, FlowTiming, FrameError, OptimizeRequest, OptimizeResult, Request,
-    Response, StatsInfo, StatusInfo, MAX_FRAME_LEN, MAX_JOB_ROUNDS, MAX_JOB_THREADS,
+    read_frame, write_frame, BackendStats, ClusterStatsInfo, FlowTiming, FrameError, HeartbeatInfo,
+    OptimizeRequest, OptimizeResult, RegisterInfo, Request, Response, StatsInfo, StatusInfo,
+    MAX_FRAME_LEN, MAX_JOB_ROUNDS, MAX_JOB_THREADS,
 };
 pub use queue::JobQueue;
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -29,6 +29,16 @@ pub const MAX_JOB_THREADS: usize = 8;
 /// Server-side cap on the per-job round cap a client may request.
 pub const MAX_JOB_ROUNDS: usize = 1000;
 
+/// Error message a daemon answers with when refusing new work during
+/// shutdown. **Stable**: the cluster router matches on it (by equality)
+/// to decide that a job is safe to retry on another backend — reword it
+/// only together with `mc-cluster`'s failover check.
+pub const ERR_SHUTTING_DOWN: &str = "daemon is shutting down";
+
+/// Error message for a job whose computation was abandoned by shutdown.
+/// Stable for the same reason as [`ERR_SHUTTING_DOWN`].
+pub const ERR_JOB_DROPPED: &str = "job was dropped during shutdown";
+
 /// Failure reading a frame from the wire.
 #[derive(Debug)]
 pub enum FrameError {
@@ -151,6 +161,30 @@ impl Default for OptimizeRequest {
     }
 }
 
+/// A backend announcing itself to the cluster router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterInfo {
+    /// The address clients of the router can reach the backend at.
+    pub addr: String,
+    /// Worker capacity the backend announces (its pool size); the router
+    /// uses it to decide when the backend is saturated.
+    pub capacity: usize,
+    /// The backend's job-queue bound, so the router can aggregate a
+    /// meaningful `status` for the whole cluster.
+    pub queue_capacity: usize,
+}
+
+/// A periodic liveness-and-load report from a registered backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatInfo {
+    /// The id the router assigned at registration.
+    pub backend_id: u64,
+    /// Jobs waiting in the backend's queue.
+    pub queue_depth: usize,
+    /// Workers currently running a job.
+    pub busy: usize,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -160,6 +194,20 @@ pub enum Request {
     Status,
     /// Report service counters (jobs, cache, per-flow timing).
     Stats,
+    /// Liveness probe; answered inline with [`Response::Pong`]. The
+    /// cluster router health-checks backends with it, and `Client::ping`
+    /// exposes the round-trip time.
+    Ping,
+    /// Backend → router: join the cluster (answered with
+    /// [`Response::Registered`]).
+    Register(RegisterInfo),
+    /// Backend → router: periodic liveness/load report (answered with
+    /// [`Response::Pong`]).
+    Heartbeat(HeartbeatInfo),
+    /// Report the router's per-backend breakdown (answered with
+    /// [`Response::ClusterStats`]; a plain backend answers with an
+    /// error).
+    ClusterStats,
     /// Stop accepting work and shut the daemon down.
     Shutdown,
 }
@@ -224,6 +272,9 @@ pub struct FlowTiming {
 /// Service counters, for the `stats` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsInfo {
+    /// Seconds since the daemon started (for a router: since it started;
+    /// aggregated stats keep the router's own uptime).
+    pub uptime_secs: u64,
     /// Optimize requests answered (computed + cache hits).
     pub jobs_served: u64,
     /// Semantic-cache hits.
@@ -254,6 +305,67 @@ impl StatsInfo {
     }
 }
 
+/// One backend's row in [`ClusterStatsInfo`]: registry state plus the
+/// live counters the router polled from the backend (zero when the
+/// backend is down or unreachable at poll time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Router-assigned backend id.
+    pub id: u64,
+    /// The backend's address.
+    pub addr: String,
+    /// Whether the router currently considers the backend healthy.
+    pub up: bool,
+    /// Announced worker capacity.
+    pub capacity: usize,
+    /// Jobs the router has dispatched to it and not yet seen complete.
+    pub in_flight: usize,
+    /// Jobs the router has routed to it over its lifetime.
+    pub jobs_routed: u64,
+    /// Queue depth from the last heartbeat.
+    pub queue_depth: usize,
+    /// Busy workers from the last heartbeat.
+    pub busy: usize,
+    /// `jobs_served` polled live from the backend.
+    pub jobs_served: u64,
+    /// Semantic-cache hits polled live from the backend.
+    pub cache_hits: u64,
+    /// Semantic-cache misses polled live from the backend.
+    pub cache_misses: u64,
+}
+
+/// The router's per-backend breakdown, for the `cluster_stats` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatsInfo {
+    /// Seconds since the router started.
+    pub uptime_secs: u64,
+    /// Optimize requests the router answered from a backend.
+    pub jobs_routed: u64,
+    /// Dispatch attempts that failed and were retried on another backend.
+    pub jobs_retried: u64,
+    /// Dispatches that went to the ring-affine target (the backend the
+    /// canonical job key consistent-hashes to).
+    pub affinity_hits: u64,
+    /// Dispatches diverted to a fallback backend (affine target down or
+    /// saturated, or retry after a failure).
+    pub affinity_fallbacks: u64,
+    /// One row per registered backend, id order.
+    pub backends: Vec<BackendStats>,
+}
+
+impl ClusterStatsInfo {
+    /// Fraction of dispatches that reached their ring-affine target, in
+    /// `[0, 1]`; 0 before any dispatch.
+    pub fn affinity_rate(&self) -> f64 {
+        let total = self.affinity_hits + self.affinity_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.affinity_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -263,6 +375,17 @@ pub enum Response {
     Status(StatusInfo),
     /// Answer to [`Request::Stats`].
     Stats(StatsInfo),
+    /// Answer to [`Request::Ping`] and [`Request::Heartbeat`].
+    Pong,
+    /// Answer to [`Request::Register`]: the id the router will expect in
+    /// heartbeats.
+    Registered {
+        /// Router-assigned backend id (stable across re-registrations
+        /// from the same address).
+        backend_id: u64,
+    },
+    /// Answer to [`Request::ClusterStats`].
+    ClusterStats(ClusterStatsInfo),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// Any failure the server could map to the request (malformed
@@ -298,6 +421,15 @@ fn obj_u64(value: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing or non-integer field: {key}"))
 }
 
+fn obj_u64_or(value: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field: {key}")),
+    }
+}
+
 fn obj_bool(value: &Json, key: &str) -> Result<bool, String> {
     value
         .get(key)
@@ -325,6 +457,22 @@ impl Request {
             }
             Request::Status => Json::Obj(vec![("type".to_string(), Json::from("status"))]),
             Request::Stats => Json::Obj(vec![("type".to_string(), Json::from("stats"))]),
+            Request::Ping => Json::Obj(vec![("type".to_string(), Json::from("ping"))]),
+            Request::Register(r) => Json::Obj(vec![
+                ("type".to_string(), Json::from("register")),
+                ("addr".to_string(), Json::from(r.addr.as_str())),
+                ("capacity".to_string(), Json::from(r.capacity)),
+                ("queue_capacity".to_string(), Json::from(r.queue_capacity)),
+            ]),
+            Request::Heartbeat(h) => Json::Obj(vec![
+                ("type".to_string(), Json::from("heartbeat")),
+                ("backend_id".to_string(), Json::from(h.backend_id)),
+                ("queue_depth".to_string(), Json::from(h.queue_depth)),
+                ("busy".to_string(), Json::from(h.busy)),
+            ]),
+            Request::ClusterStats => {
+                Json::Obj(vec![("type".to_string(), Json::from("cluster_stats"))])
+            }
             Request::Shutdown => Json::Obj(vec![("type".to_string(), Json::from("shutdown"))]),
         }
     }
@@ -385,6 +533,18 @@ impl Request {
             }
             "status" => Ok(Request::Status),
             "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "register" => Ok(Request::Register(RegisterInfo {
+                addr: obj_str(&value, "addr")?,
+                capacity: obj_usize(&value, "capacity", 1)?,
+                queue_capacity: obj_usize(&value, "queue_capacity", 0)?,
+            })),
+            "heartbeat" => Ok(Request::Heartbeat(HeartbeatInfo {
+                backend_id: obj_u64(&value, "backend_id")?,
+                queue_depth: obj_usize(&value, "queue_depth", 0)?,
+                busy: obj_usize(&value, "busy", 0)?,
+            })),
+            "cluster_stats" => Ok(Request::ClusterStats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type: {other}")),
         }
@@ -420,6 +580,7 @@ impl Response {
             ]),
             Response::Stats(s) => Json::Obj(vec![
                 ("type".to_string(), Json::from("stats")),
+                ("uptime_secs".to_string(), Json::from(s.uptime_secs)),
                 ("jobs_served".to_string(), Json::from(s.jobs_served)),
                 ("cache_hits".to_string(), Json::from(s.cache_hits)),
                 ("cache_misses".to_string(), Json::from(s.cache_misses)),
@@ -437,6 +598,45 @@ impl Response {
                                     ("flow".to_string(), Json::from(t.flow.as_str())),
                                     ("jobs".to_string(), Json::from(t.jobs)),
                                     ("total_millis".to_string(), Json::from(t.total_millis)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Pong => Json::Obj(vec![("type".to_string(), Json::from("pong"))]),
+            Response::Registered { backend_id } => Json::Obj(vec![
+                ("type".to_string(), Json::from("registered")),
+                ("backend_id".to_string(), Json::from(*backend_id)),
+            ]),
+            Response::ClusterStats(c) => Json::Obj(vec![
+                ("type".to_string(), Json::from("cluster_stats")),
+                ("uptime_secs".to_string(), Json::from(c.uptime_secs)),
+                ("jobs_routed".to_string(), Json::from(c.jobs_routed)),
+                ("jobs_retried".to_string(), Json::from(c.jobs_retried)),
+                ("affinity_hits".to_string(), Json::from(c.affinity_hits)),
+                (
+                    "affinity_fallbacks".to_string(),
+                    Json::from(c.affinity_fallbacks),
+                ),
+                (
+                    "backends".to_string(),
+                    Json::Arr(
+                        c.backends
+                            .iter()
+                            .map(|b| {
+                                Json::Obj(vec![
+                                    ("id".to_string(), Json::from(b.id)),
+                                    ("addr".to_string(), Json::from(b.addr.as_str())),
+                                    ("up".to_string(), Json::Bool(b.up)),
+                                    ("capacity".to_string(), Json::from(b.capacity)),
+                                    ("in_flight".to_string(), Json::from(b.in_flight)),
+                                    ("jobs_routed".to_string(), Json::from(b.jobs_routed)),
+                                    ("queue_depth".to_string(), Json::from(b.queue_depth)),
+                                    ("busy".to_string(), Json::from(b.busy)),
+                                    ("jobs_served".to_string(), Json::from(b.jobs_served)),
+                                    ("cache_hits".to_string(), Json::from(b.cache_hits)),
+                                    ("cache_misses".to_string(), Json::from(b.cache_misses)),
                                 ])
                             })
                             .collect(),
@@ -509,6 +709,7 @@ impl Response {
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::Stats(StatsInfo {
+                    uptime_secs: obj_u64_or(&value, "uptime_secs", 0)?,
                     jobs_served: obj_u64(&value, "jobs_served")?,
                     cache_hits: obj_u64(&value, "cache_hits")?,
                     cache_misses: obj_u64(&value, "cache_misses")?,
@@ -517,6 +718,41 @@ impl Response {
                     cache_capacity: obj_usize(&value, "cache_capacity", 0)?,
                     queue_depth: obj_usize(&value, "queue_depth", 0)?,
                     flows,
+                }))
+            }
+            "pong" => Ok(Response::Pong),
+            "registered" => Ok(Response::Registered {
+                backend_id: obj_u64(&value, "backend_id")?,
+            }),
+            "cluster_stats" => {
+                let backends = value
+                    .get("backends")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|b| {
+                        Ok(BackendStats {
+                            id: obj_u64(b, "id")?,
+                            addr: obj_str(b, "addr")?,
+                            up: obj_bool(b, "up")?,
+                            capacity: obj_usize(b, "capacity", 0)?,
+                            in_flight: obj_usize(b, "in_flight", 0)?,
+                            jobs_routed: obj_u64_or(b, "jobs_routed", 0)?,
+                            queue_depth: obj_usize(b, "queue_depth", 0)?,
+                            busy: obj_usize(b, "busy", 0)?,
+                            jobs_served: obj_u64_or(b, "jobs_served", 0)?,
+                            cache_hits: obj_u64_or(b, "cache_hits", 0)?,
+                            cache_misses: obj_u64_or(b, "cache_misses", 0)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::ClusterStats(ClusterStatsInfo {
+                    uptime_secs: obj_u64_or(&value, "uptime_secs", 0)?,
+                    jobs_routed: obj_u64_or(&value, "jobs_routed", 0)?,
+                    jobs_retried: obj_u64_or(&value, "jobs_retried", 0)?,
+                    affinity_hits: obj_u64_or(&value, "affinity_hits", 0)?,
+                    affinity_fallbacks: obj_u64_or(&value, "affinity_fallbacks", 0)?,
+                    backends,
                 }))
             }
             "shutting_down" => Ok(Response::ShuttingDown),
@@ -587,6 +823,18 @@ mod tests {
             Request::Optimize(OptimizeRequest::default()),
             Request::Status,
             Request::Stats,
+            Request::Ping,
+            Request::Register(RegisterInfo {
+                addr: "127.0.0.1:4519".to_string(),
+                capacity: 4,
+                queue_capacity: 64,
+            }),
+            Request::Heartbeat(HeartbeatInfo {
+                backend_id: 3,
+                queue_depth: 2,
+                busy: 1,
+            }),
+            Request::ClusterStats,
             Request::Shutdown,
         ];
         for req in requests {
@@ -620,6 +868,7 @@ mod tests {
                 busy: 2,
             }),
             Response::Stats(StatsInfo {
+                uptime_secs: 42,
                 jobs_served: 10,
                 cache_hits: 4,
                 cache_misses: 6,
@@ -631,6 +880,28 @@ mod tests {
                     flow: "paper".to_string(),
                     jobs: 6,
                     total_millis: 120,
+                }],
+            }),
+            Response::Pong,
+            Response::Registered { backend_id: 2 },
+            Response::ClusterStats(ClusterStatsInfo {
+                uptime_secs: 17,
+                jobs_routed: 40,
+                jobs_retried: 2,
+                affinity_hits: 35,
+                affinity_fallbacks: 5,
+                backends: vec![BackendStats {
+                    id: 1,
+                    addr: "127.0.0.1:4519".to_string(),
+                    up: true,
+                    capacity: 4,
+                    in_flight: 1,
+                    jobs_routed: 21,
+                    queue_depth: 0,
+                    busy: 1,
+                    jobs_served: 20,
+                    cache_hits: 9,
+                    cache_misses: 12,
                 }],
             }),
             Response::ShuttingDown,
@@ -665,6 +936,7 @@ mod tests {
     #[test]
     fn hit_rate_is_well_defined() {
         let mut stats = StatsInfo {
+            uptime_secs: 0,
             jobs_served: 0,
             cache_hits: 0,
             cache_misses: 0,
@@ -678,5 +950,40 @@ mod tests {
         stats.cache_hits = 3;
         stats.cache_misses = 1;
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_rate_is_well_defined() {
+        let mut stats = ClusterStatsInfo {
+            uptime_secs: 0,
+            jobs_routed: 0,
+            jobs_retried: 0,
+            affinity_hits: 0,
+            affinity_fallbacks: 0,
+            backends: Vec::new(),
+        };
+        assert_eq!(stats.affinity_rate(), 0.0);
+        stats.affinity_hits = 9;
+        stats.affinity_fallbacks = 3;
+        assert!((stats.affinity_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heartbeat_requires_a_backend_id() {
+        assert!(Request::from_payload(br#"{"type":"heartbeat"}"#).is_err());
+        assert!(
+            Request::from_payload(br#"{"type":"register"}"#).is_err(),
+            "no addr"
+        );
+        // Register defaults capacity but never the address.
+        let r = Request::from_payload(br#"{"type":"register","addr":"127.0.0.1:1"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Register(RegisterInfo {
+                addr: "127.0.0.1:1".to_string(),
+                capacity: 1,
+                queue_capacity: 0,
+            })
+        );
     }
 }

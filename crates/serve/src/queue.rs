@@ -170,4 +170,41 @@ mod tests {
         q.close();
         assert_eq!(pusher.join().unwrap(), Err(Closed(1)));
     }
+
+    /// The shutdown-under-contention scenario: many producers blocked on
+    /// a full queue when `close` fires. Every blocked producer must be
+    /// woken with its job returned (no deadlock), and the items that made
+    /// it in must still drain cleanly.
+    #[test]
+    fn close_with_many_blocked_producers_drains_cleanly() {
+        const PRODUCERS: usize = 8;
+        let q = Arc::new(JobQueue::new(2));
+        q.push(100usize).unwrap();
+        q.push(101).unwrap();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push(i))
+            })
+            .collect();
+        // Give every producer time to block on the full queue.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.len(), 2, "all extra pushes must be blocked");
+        q.close();
+        // No deadlock: every producer returns, and each gets its own job
+        // back.
+        let mut rejected: Vec<usize> = producers
+            .into_iter()
+            .map(|p| match p.join().expect("producer thread") {
+                Err(Closed(job)) => job,
+                Ok(()) => panic!("push succeeded after close on a full queue"),
+            })
+            .collect();
+        rejected.sort_unstable();
+        assert_eq!(rejected, (0..PRODUCERS).collect::<Vec<_>>());
+        // Clean drain: the two accepted items come out, then None.
+        assert_eq!(q.pop(), Some(100));
+        assert_eq!(q.pop(), Some(101));
+        assert_eq!(q.pop(), None);
+    }
 }

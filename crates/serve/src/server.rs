@@ -23,21 +23,22 @@
 //! the queue and exit, blocked submitters get an error response, and
 //! readers exit on the next EOF or request.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use xag_circuits::{parse_circuit, CircuitFormat};
-use xag_mc::{run_job, JobSpec, OptContext};
+use xag_mc::{run_job, FlowKind, JobSpec, OptContext};
 use xag_network::{write_bristol, write_verilog, Xag};
 
 use crate::cache::{job_key, CacheEntry, SemanticCache};
 use crate::protocol::{
     read_frame, write_frame, FlowTiming, FrameError, OptimizeRequest, OptimizeResult, Request,
-    Response, StatsInfo, StatusInfo, MAX_JOB_ROUNDS, MAX_JOB_THREADS,
+    Response, StatsInfo, StatusInfo, ERR_JOB_DROPPED, ERR_SHUTTING_DOWN, MAX_JOB_ROUNDS,
+    MAX_JOB_THREADS,
 };
 use crate::queue::JobQueue;
 
@@ -53,6 +54,17 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Bound of the semantic result cache (LRU).
     pub cache_capacity: usize,
+    /// Address of an `mc-cluster` router to join: the daemon registers
+    /// itself there once listening and heartbeats for as long as it
+    /// runs. `None` (the default) serves stand-alone.
+    pub join: Option<String>,
+    /// The address to *announce* to the joined router. Defaults to the
+    /// bound address, which is only correct for a concrete bind — a
+    /// daemon bound to a wildcard (`0.0.0.0:…`) must set this to the
+    /// address the router can actually reach it at.
+    pub advertise: Option<String>,
+    /// Interval between heartbeats to the joined router.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +77,9 @@ impl Default for ServeConfig {
                 .min(8),
             queue_capacity: 64,
             cache_capacity: 128,
+            join: None,
+            advertise: None,
+            heartbeat_interval: Duration::from_millis(500),
         }
     }
 }
@@ -87,15 +102,26 @@ struct ServiceStats {
     per_flow: BTreeMap<String, (u64, u64)>,
 }
 
-struct Shared {
+/// The semantic cache plus the in-flight coalescing map, under one lock
+/// so lookup-or-register is atomic: the *first* request to miss on a key
+/// computes it; requests racing the same cold key park a waiter sender
+/// here and are answered from the commit — exactly one miss, the rest
+/// hits.
+struct CacheState {
+    cache: SemanticCache,
+    pending: HashMap<Vec<u8>, Vec<mpsc::Sender<CacheEntry>>>,
+}
+
+pub(crate) struct Shared {
     queue: JobQueue<Job>,
-    cache: Mutex<SemanticCache>,
+    cache: Mutex<CacheState>,
     ctx: Mutex<OptContext>,
     stats: Mutex<ServiceStats>,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     busy: AtomicUsize,
     next_job_id: AtomicU64,
-    workers: usize,
+    pub(crate) workers: usize,
+    started: Instant,
 }
 
 impl Shared {
@@ -104,7 +130,7 @@ impl Shared {
         self.queue.close();
     }
 
-    fn status(&self) -> StatusInfo {
+    pub(crate) fn status(&self) -> StatusInfo {
         StatusInfo {
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
@@ -114,18 +140,27 @@ impl Shared {
     }
 
     fn stats(&self) -> StatsInfo {
-        let cache = self.cache.lock().expect("cache lock poisoned");
+        let cs = self.cache.lock().expect("cache lock poisoned");
         let stats = self.stats.lock().expect("stats lock poisoned");
+        // Zero-filled rows for flows that have not run keep the per-flow
+        // breakdown complete for the router and `serve_bench`.
+        let mut per_flow: BTreeMap<String, (u64, u64)> = FlowKind::ALL
+            .iter()
+            .map(|f| (f.name().to_string(), (0, 0)))
+            .collect();
+        for (flow, &counts) in &stats.per_flow {
+            per_flow.insert(flow.clone(), counts);
+        }
         StatsInfo {
+            uptime_secs: self.started.elapsed().as_secs(),
             jobs_served: stats.jobs_served,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            cache_evictions: cache.evictions(),
-            cache_entries: cache.len(),
-            cache_capacity: cache.capacity(),
+            cache_hits: cs.cache.hits(),
+            cache_misses: cs.cache.misses(),
+            cache_evictions: cs.cache.evictions(),
+            cache_entries: cs.cache.len(),
+            cache_capacity: cs.cache.capacity(),
             queue_depth: self.queue.len(),
-            flows: stats
-                .per_flow
+            flows: per_flow
                 .iter()
                 .map(|(flow, &(jobs, total_millis))| FlowTiming {
                     flow: flow.clone(),
@@ -156,16 +191,20 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
-            cache: Mutex::new(SemanticCache::new(config.cache_capacity)),
+            cache: Mutex::new(CacheState {
+                cache: SemanticCache::new(config.cache_capacity),
+                pending: HashMap::new(),
+            }),
             ctx: Mutex::new(OptContext::new()),
             stats: Mutex::new(ServiceStats::default()),
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
             next_job_id: AtomicU64::new(1),
             workers,
+            started: Instant::now(),
         });
 
-        let mut threads = Vec::with_capacity(workers + 1);
+        let mut threads = Vec::with_capacity(workers + 2);
         for w in 0..workers {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -184,9 +223,24 @@ impl Server {
                     .expect("spawn listener thread"),
             );
         }
+        if let Some(router) = config.join.clone() {
+            let shared = Arc::clone(&shared);
+            let interval = config.heartbeat_interval;
+            let advertised = config
+                .advertise
+                .clone()
+                .unwrap_or_else(|| local_addr.to_string());
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-serve-join".to_string())
+                    .spawn(move || crate::join::join_loop(&shared, &router, &advertised, interval))
+                    .expect("spawn join thread"),
+            );
+        }
 
         Ok(ServerHandle {
             local_addr,
+            joined: config.join,
             shared,
             threads,
         })
@@ -196,6 +250,7 @@ impl Server {
 /// A running daemon: its bound address and the means to stop it.
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    joined: Option<String>,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -204,6 +259,12 @@ impl ServerHandle {
     /// The address the listener actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The router address this daemon registers with, when started with
+    /// a `join` configuration.
+    pub fn joined_router(&self) -> Option<&str> {
+        self.joined.as_deref()
     }
 
     /// Blocks until the daemon stops (i.e. until a `shutdown` request
@@ -282,6 +343,14 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         let response = match request {
             Request::Status => Response::Status(shared.status()),
             Request::Stats => Response::Stats(shared.stats()),
+            Request::Ping => Response::Pong,
+            // Cluster-handshake frames are the router's business; a plain
+            // backend names itself so a misdirected `--join` is obvious.
+            Request::Register(_) | Request::Heartbeat(_) | Request::ClusterStats => {
+                Response::Error {
+                    message: "not a cluster router (this is an mc-serve backend)".to_string(),
+                }
+            }
             Request::Shutdown => {
                 shared.begin_shutdown();
                 let _ = send(&mut stream, &Response::ShuttingDown);
@@ -319,7 +388,7 @@ fn entry_to_result(entry: &CacheEntry, cached: bool, output: CircuitFormat) -> R
 fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Error {
-            message: "daemon is shutting down".to_string(),
+            message: ERR_SHUTTING_DOWN.to_string(),
         };
     }
     // A malformed upload is a protocol error, never a worker panic: the
@@ -339,42 +408,91 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
     };
     let key = job_key(&xag, spec.flow.name(), spec.max_rounds);
 
-    if let Some(entry) = shared.cache.lock().expect("cache lock poisoned").get(&key) {
-        shared
-            .stats
-            .lock()
-            .expect("stats lock poisoned")
-            .jobs_served += 1;
-        return entry_to_result(&entry, true, req.output);
+    // Atomic lookup-or-register under the cache lock: a hit answers
+    // immediately; a key with an in-flight computation parks a waiter (a
+    // coalesced hit, answered at commit); only a genuinely first miss
+    // proceeds to compute.
+    enum Plan {
+        Hit(CacheEntry),
+        Wait(mpsc::Receiver<CacheEntry>),
+        Compute,
     }
-
-    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        id,
-        xag,
-        spec,
-        key,
-        reply: reply_tx,
+    let plan = {
+        let mut cs = shared.cache.lock().expect("cache lock poisoned");
+        if let Some(waiters) = cs.pending.get_mut(&key) {
+            // Checked before the cache so a coalesced request never
+            // counts a second miss on the same cold key.
+            let (tx, rx) = mpsc::channel();
+            waiters.push(tx);
+            Plan::Wait(rx)
+        } else if let Some(entry) = cs.cache.get(&key) {
+            Plan::Hit(entry)
+        } else {
+            cs.pending.insert(key.clone(), Vec::new());
+            Plan::Compute
+        }
     };
-    // This push blocking on a full queue is the backpressure path.
-    if shared.queue.push(job).is_err() {
-        return Response::Error {
-            message: "daemon is shutting down".to_string(),
-        };
-    }
-    match reply_rx.recv() {
-        Ok(entry) => {
+
+    match plan {
+        Plan::Hit(entry) => {
             shared
                 .stats
                 .lock()
                 .expect("stats lock poisoned")
                 .jobs_served += 1;
-            entry_to_result(&entry, false, req.output)
+            entry_to_result(&entry, true, req.output)
         }
-        Err(_) => Response::Error {
-            message: "job was dropped during shutdown".to_string(),
+        Plan::Wait(rx) => match rx.recv() {
+            Ok(entry) => {
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats lock poisoned")
+                    .jobs_served += 1;
+                entry_to_result(&entry, true, req.output)
+            }
+            Err(_) => Response::Error {
+                message: ERR_JOB_DROPPED.to_string(),
+            },
         },
+        Plan::Compute => {
+            let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                id,
+                xag,
+                spec,
+                key: key.clone(),
+                reply: reply_tx,
+            };
+            // This push blocking on a full queue is the backpressure path.
+            if shared.queue.push(job).is_err() {
+                // Unregister the pending key; dropping its waiter senders
+                // wakes every coalesced request with the same error.
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .pending
+                    .remove(&key);
+                return Response::Error {
+                    message: ERR_SHUTTING_DOWN.to_string(),
+                };
+            }
+            match reply_rx.recv() {
+                Ok(entry) => {
+                    shared
+                        .stats
+                        .lock()
+                        .expect("stats lock poisoned")
+                        .jobs_served += 1;
+                    entry_to_result(&entry, false, req.output)
+                }
+                Err(_) => Response::Error {
+                    message: ERR_JOB_DROPPED.to_string(),
+                },
+            }
+        }
     }
 }
 
@@ -382,11 +500,20 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.busy.fetch_add(1, Ordering::Relaxed);
         let entry = compute(shared, job.id, job.xag, &job.spec);
-        shared
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(job.key, entry.clone());
+        // Commit and collect the coalesced waiters atomically, so a
+        // request arriving after this lock releases sees the cache entry.
+        let waiters = {
+            let mut cs = shared.cache.lock().expect("cache lock poisoned");
+            cs.cache.insert(job.key.clone(), entry.clone());
+            let waiters = cs.pending.remove(&job.key).unwrap_or_default();
+            for _ in &waiters {
+                cs.cache.note_coalesced_hit();
+            }
+            waiters
+        };
+        for waiter in waiters {
+            let _ = waiter.send(entry.clone());
+        }
         {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
             let slot = stats

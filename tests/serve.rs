@@ -203,6 +203,88 @@ fn malformed_circuit_is_an_error_not_a_crash() {
     handle.join();
 }
 
+/// Concurrent isomorphic submissions racing a cold cache must coalesce:
+/// exactly one computation (one miss), everyone else served from the
+/// commit as a hit — never N redundant computations of the same key.
+#[test]
+fn racing_isomorphic_submissions_coalesce_to_one_miss() {
+    const RACERS: u64 = 6;
+    let handle = boot(4);
+    let addr = handle.local_addr();
+
+    // One nontrivial circuit, same seed for every racer.
+    let circuit = bristol_text(&random_xag(&FuzzConfig::default(), 77));
+    let cached_flags: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let circuit = circuit.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .optimize(OptimizeRequest {
+                            circuit,
+                            ..OptimizeRequest::default()
+                        })
+                        .expect("optimize")
+                        .cached
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let computed = cached_flags.iter().filter(|&&cached| !cached).count();
+    assert_eq!(
+        computed, 1,
+        "exactly one racer computes; got {cached_flags:?}"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_misses, 1, "one miss for the cold key");
+    assert_eq!(
+        stats.cache_hits,
+        RACERS - 1,
+        "the rest are (coalesced) hits"
+    );
+    assert_eq!(stats.jobs_served, RACERS);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// `ping` answers `pong` with a measurable round-trip time, and the
+/// cluster-handshake frames are cleanly rejected by a plain backend.
+#[test]
+fn ping_round_trips_and_cluster_frames_are_rejected() {
+    let handle = boot(1);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    for _ in 0..3 {
+        let rtt = client.ping().expect("ping");
+        assert!(rtt.as_secs() < 5, "loopback rtt is sane");
+    }
+
+    let err = client
+        .register("127.0.0.1:1", 1, 64)
+        .expect_err("a backend is not a router");
+    assert!(matches!(err, mc_serve::ClientError::Server(_)), "{err}");
+    let err = client.cluster_stats().expect_err("no cluster stats here");
+    assert!(matches!(err, mc_serve::ClientError::Server(_)), "{err}");
+
+    // The connection survives the rejections.
+    assert!(client.ping().is_ok());
+
+    // Stats carry the uptime and the complete per-flow breakdown.
+    let stats = client.stats().expect("stats");
+    let names: Vec<&str> = stats.flows.iter().map(|f| f.flow.as_str()).collect();
+    for flow in ["paper", "compress", "from_params"] {
+        assert!(names.contains(&flow), "missing flow row {flow}: {names:?}");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
 /// Verilog in, Verilog out: format handling end to end.
 #[test]
 fn verilog_round_trip_through_the_daemon() {
