@@ -8,8 +8,12 @@
 //!
 //! ```text
 //! cargo run --release -p xag-bench --bin cluster_bench \
-//!     [--backends K] [--clients M] [--jobs J] [--workers W] [--json PATH]
+//!     [--backends K] [--clients M] [--jobs J] [--workers W] [--flow SPEC] [--json PATH]
 //! ```
+//!
+//! `--flow` takes any FlowSpec (alias or full spec, default `paper`), so
+//! the scaling curves can be reproduced on custom flows; the `--json`
+//! records carry the normalized spec.
 //!
 //! For each backend count `k` in `1..=K` the bench boots a fresh
 //! cluster and runs two phases with all clients concurrent:
@@ -30,6 +34,7 @@ use std::time::{Duration, Instant};
 use mc_cluster::{RoutePolicy, Router, RouterConfig, RouterHandle};
 use mc_serve::{Client, OptimizeRequest, ServeConfig, Server, ServerHandle};
 use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
+use xag_mc::FlowSpec;
 use xag_network::fuzz::{random_xag, FuzzConfig};
 use xag_network::write_bristol;
 
@@ -90,12 +95,14 @@ fn boot_cluster(
 fn run_phase(
     addr: std::net::SocketAddr,
     circuits: &Arc<Vec<Vec<String>>>,
+    flow: &FlowSpec,
 ) -> (f64, u64, usize, usize) {
     let t0 = Instant::now();
     let totals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..circuits.len())
             .map(|c| {
                 let circuits = Arc::clone(circuits);
+                let flow = flow.clone();
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect to router");
                     let mut cached = 0u64;
@@ -105,6 +112,7 @@ fn run_phase(
                         let result = client
                             .optimize(OptimizeRequest {
                                 circuit: circuit.clone(),
+                                flow: flow.clone(),
                                 ..OptimizeRequest::default()
                             })
                             .expect("optimize request");
@@ -147,6 +155,12 @@ fn main() {
     let clients = flag("--clients", 4).max(1);
     let jobs = flag("--jobs", 8).max(1);
     let workers = flag("--workers", 2).max(1);
+    let flow: FlowSpec = args
+        .iter()
+        .position(|a| a == "--flow")
+        .and_then(|i| args.get(i + 1))
+        .map(|text| FlowSpec::parse(text).expect("--flow takes a valid FlowSpec"))
+        .unwrap_or_default();
     let total_jobs = (clients * jobs) as f64;
 
     // Client-disjoint seeds so the cold phase is all misses.
@@ -162,7 +176,8 @@ fn main() {
     );
     println!(
         "cluster_bench: {clients} clients × {jobs} jobs, {workers} workers/backend, \
-         scaling 1..={max_backends} backends"
+         scaling 1..={max_backends} backends, flow {}",
+        flow.normalized()
     );
 
     let mut rows: Vec<PhaseRow> = Vec::new();
@@ -170,9 +185,9 @@ fn main() {
     for k in 1..=max_backends {
         let (router, backends) = boot_cluster(k, workers, RoutePolicy::Affine);
         let addr = router.local_addr();
-        let (cold_s, cold_cached, before, after) = run_phase(addr, &circuits);
+        let (cold_s, cold_cached, before, after) = run_phase(addr, &circuits, &flow);
         assert_eq!(cold_cached, 0, "cold phase must be all misses");
-        let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits);
+        let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits, &flow);
         let warm_hit_rate = warm_cached as f64 / total_jobs;
         assert!(
             warm_cached == total_jobs as u64,
@@ -214,8 +229,8 @@ fn main() {
     // `random`-policy router, fresh caches.
     let (router, backends) = boot_cluster(max_backends, workers, RoutePolicy::Random);
     let addr = router.local_addr();
-    let (cold_s, _, before, after) = run_phase(addr, &circuits);
-    let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits);
+    let (cold_s, _, before, after) = run_phase(addr, &circuits, &flow);
+    let (warm_s, warm_cached, _, _) = run_phase(addr, &circuits, &flow);
     let random_hit_rate = warm_cached as f64 / total_jobs;
     let mut probe = Client::connect(addr).expect("connect for stats");
     let cstats = probe.cluster_stats().expect("cluster_stats");
@@ -271,6 +286,7 @@ fn main() {
                 mc_after: r.ands_after,
                 wall_s: r.wall_s,
                 threads: r.backends,
+                flow: flow.normalized(),
             })
             .collect();
         write_bench_json(&path, &records).expect("write --json output");

@@ -131,6 +131,8 @@ fn main() {
             mc_after: 0,
             wall_s: t0.elapsed().as_secs_f64(),
             threads,
+            // db_stats measures classification, not a flow.
+            flow: String::new(),
         };
         write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
         println!("wrote 1 record to {}", path.display());

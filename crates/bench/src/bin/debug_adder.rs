@@ -75,6 +75,14 @@ fn main() {
             mc_after: x.num_ands(),
             wall_s: stats.total_time().as_secs_f64(),
             threads,
+            // The spec for the from_params cut schedule actually run
+            // (cut_limit/exact_vars are context knobs outside the spec
+            // language).
+            flow: if cut_size > 4 {
+                format!("{{mc(cut=4);mc(cut={cut_size})}}*")
+            } else {
+                format!("mc(cut={cut_size})*")
+            },
         };
         write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
         println!("wrote 1 record to {}", path.display());

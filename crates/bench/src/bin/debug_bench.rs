@@ -78,6 +78,9 @@ fn main() {
             mc_after: xag.num_ands(),
             wall_s: t0.elapsed().as_secs_f64(),
             threads,
+            // The phase trace above: two size-baseline rounds, then up
+            // to 30 mc rounds (early-exit when a round applies nothing).
+            flow: "size(cut=6)*2;mc(cut=6)*30".to_string(),
         };
         write_bench_json(&path, std::slice::from_ref(&record)).expect("write --json output");
         println!("wrote 1 record to {}", path.display());

@@ -6,8 +6,12 @@
 //!
 //! ```text
 //! cargo run --release -p xag-bench --bin serve_bench \
-//!     [--clients N] [--jobs M] [--workers W] [--json PATH]
+//!     [--clients N] [--jobs M] [--workers W] [--flow SPEC] [--json PATH]
 //! ```
+//!
+//! `--flow` takes any FlowSpec (alias or full spec, default `paper`), so
+//! the throughput and cache-hit curves can be reproduced on custom
+//! flows; the `--json` records carry the normalized spec.
 //!
 //! Two phases, both with all clients running concurrently:
 //!
@@ -25,6 +29,7 @@ use std::time::Instant;
 
 use mc_serve::{Client, OptimizeRequest, ServeConfig, Server};
 use xag_bench::{json_path_from_args, write_bench_json, BenchRecord};
+use xag_mc::FlowSpec;
 use xag_network::fuzz::{random_xag, FuzzConfig};
 use xag_network::write_bristol;
 
@@ -40,6 +45,7 @@ fn bristol_text(seed: u64, cfg: &FuzzConfig) -> String {
 fn run_phase(
     addr: std::net::SocketAddr,
     circuits: &Arc<Vec<Vec<String>>>,
+    flow: &FlowSpec,
     expect_cached: bool,
 ) -> (f64, usize, usize) {
     let t0 = Instant::now();
@@ -47,6 +53,7 @@ fn run_phase(
         let handles: Vec<_> = (0..circuits.len())
             .map(|c| {
                 let circuits = Arc::clone(circuits);
+                let flow = flow.clone();
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect to daemon");
                     let mut before = 0usize;
@@ -55,6 +62,7 @@ fn run_phase(
                         let result = client
                             .optimize(OptimizeRequest {
                                 circuit: circuit.clone(),
+                                flow: flow.clone(),
                                 ..OptimizeRequest::default()
                             })
                             .expect("optimize request");
@@ -90,6 +98,12 @@ fn main() {
     let clients = flag("--clients", 4).max(1);
     let jobs = flag("--jobs", 8).max(1);
     let workers = flag("--workers", 4).max(1);
+    let flow: FlowSpec = args
+        .iter()
+        .position(|a| a == "--flow")
+        .and_then(|i| args.get(i + 1))
+        .map(|text| FlowSpec::parse(text).expect("--flow takes a valid FlowSpec"))
+        .unwrap_or_default();
 
     let config = ServeConfig {
         workers,
@@ -103,7 +117,11 @@ fn main() {
     })
     .expect("bind daemon on an ephemeral port");
     let addr = handle.local_addr();
-    println!("serve_bench: daemon on {addr}, {clients} clients × {jobs} jobs, {workers} workers");
+    println!(
+        "serve_bench: daemon on {addr}, {clients} clients × {jobs} jobs, {workers} workers, \
+         flow {}",
+        flow.normalized()
+    );
 
     // Client-disjoint seeds so the cold phase is all misses.
     let cfg = FuzzConfig::default();
@@ -118,14 +136,14 @@ fn main() {
     );
     let total_jobs = (clients * jobs) as f64;
 
-    let (cold_s, ands_before, ands_after) = run_phase(addr, &circuits, false);
+    let (cold_s, ands_before, ands_after) = run_phase(addr, &circuits, &flow, false);
     let cold_rate = total_jobs / cold_s;
     println!(
         "cold: {cold_s:.3}s for {} jobs = {cold_rate:.1} jobs/s (AND {ands_before} -> {ands_after})",
         clients * jobs
     );
 
-    let (warm_s, _, _) = run_phase(addr, &circuits, true);
+    let (warm_s, _, _) = run_phase(addr, &circuits, &flow, true);
     let warm_rate = total_jobs / warm_s;
     println!(
         "warm: {warm_s:.3}s for {} jobs = {warm_rate:.1} jobs/s (all cache hits)",
@@ -165,6 +183,7 @@ fn main() {
             mc_after: ands_after,
             wall_s,
             threads: clients,
+            flow: flow.normalized(),
         };
         let records = [record("cold", cold_s), record("warm", warm_s)];
         write_bench_json(&path, &records).expect("write --json output");

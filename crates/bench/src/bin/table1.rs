@@ -64,6 +64,7 @@ fn main() {
             mc_after: flow.converged.0,
             wall_s: flow.converged.2,
             threads,
+            flow: xag_mc::FlowSpec::default().normalized(),
         });
         let row = TableRow {
             name: bench.name.to_string(),

@@ -137,6 +137,11 @@ pub struct BenchRecord {
     pub wall_s: f64,
     /// Worker threads (or concurrent clients, for load benches) used.
     pub threads: usize,
+    /// The normalized FlowSpec the record measured
+    /// (`xag_mc::FlowSpec::normalized`), so rows from custom `--flow`
+    /// runs are distinguishable and reproducible; empty for records that
+    /// measure no flow (e.g. `db_stats`).
+    pub flow: String,
 }
 
 /// Extracts the `--json <path>` argument the five experiment binaries
@@ -161,6 +166,7 @@ impl BenchRecord {
             ("mc_after".to_string(), Json::from(self.mc_after)),
             ("wall_s".to_string(), Json::from(self.wall_s)),
             ("threads".to_string(), Json::from(self.threads)),
+            ("flow".to_string(), Json::from(self.flow.as_str())),
         ])
     }
 }
@@ -230,6 +236,7 @@ mod tests {
                 mc_after: 32,
                 wall_s: 1.25,
                 threads: 4,
+                flow: "{mc(cut=4);mc(cut=6)}*".to_string(),
             },
             BenchRecord {
                 bench: "table1".to_string(),
@@ -242,6 +249,7 @@ mod tests {
                 mc_after: 0,
                 wall_s: 0.0,
                 threads: 1,
+                flow: String::new(),
             },
         ];
         write_bench_json(&path, &records).unwrap();
@@ -252,6 +260,7 @@ mod tests {
         assert!(text.contains("\\\"quoted\\\""));
         assert!(text.contains("\"mc_after\":32"));
         assert!(text.contains("\"wall_s\":1.25"));
+        assert!(text.contains("\"flow\":\"{mc(cut=4);mc(cut=6)}*\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -454,9 +454,12 @@ fn route_optimize(shared: &Arc<RouterShared>, req: OptimizeRequest) -> Response 
         }
     };
     // Clamp exactly like the backend will, so both tiers derive the same
-    // canonical key bytes.
+    // canonical key bytes. The flow contributes its *normalized* spec
+    // (the typed request was already parse-validated at this edge), so
+    // alias/whitespace/`par{}` variants of one flow hash to the same
+    // warm backend.
     let max_rounds = req.max_rounds.clamp(1, MAX_JOB_ROUNDS);
-    let hash = fingerprint(&job_key(&xag, req.flow.name(), max_rounds));
+    let hash = fingerprint(&job_key(&xag, &req.flow, max_rounds));
 
     let mut excluded: Vec<u64> = Vec::new();
     for _attempt in 0..=shared.retry_limit {

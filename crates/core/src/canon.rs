@@ -136,10 +136,17 @@ pub fn canonical_form(xag: &Xag) -> Vec<u8> {
 /// The full cache key of a job: the canonical circuit plus everything
 /// else that determines the optimized result (flow and round cap — the
 /// thread count deliberately excluded, see [`crate::run_job`]).
-pub fn job_key(xag: &Xag, flow_name: &str, max_rounds: usize) -> Vec<u8> {
+///
+/// The flow contributes its **normalized** bytes
+/// ([`crate::FlowSpec::normalized`]), not the text the client sent: the
+/// alias `paper`, its written-out expansion, and any whitespace or
+/// `par{}` variant of it all fold to the same key (one warm entry
+/// cluster-wide), while specs that differ semantically — `mc(cut=4)` vs
+/// `mc(cut=6)` — can never collide.
+pub fn job_key(xag: &Xag, flow: &crate::FlowSpec, max_rounds: usize) -> Vec<u8> {
     let mut key = canonical_form(xag);
     key.push(0xff);
-    key.extend_from_slice(flow_name.as_bytes());
+    key.extend_from_slice(flow.normalized().as_bytes());
     key.extend_from_slice(&(max_rounds as u64).to_le_bytes());
     key
 }
@@ -241,10 +248,37 @@ mod tests {
 
     #[test]
     fn job_key_separates_flows_and_round_caps() {
+        let spec = |text: &str| crate::FlowSpec::parse(text).expect("test specs parse");
         let (p, _) = build_pair();
-        let a = job_key(&p, "paper", 100);
-        assert_eq!(a, job_key(&p, "paper", 100));
-        assert_ne!(a, job_key(&p, "compress", 100));
-        assert_ne!(a, job_key(&p, "paper", 50));
+        let a = job_key(&p, &spec("paper"), 100);
+        assert_eq!(a, job_key(&p, &spec("paper"), 100));
+        assert_ne!(a, job_key(&p, &spec("compress"), 100));
+        assert_ne!(a, job_key(&p, &spec("paper"), 50));
+    }
+
+    /// Alias, expansion, whitespace variants, and `par{}` wrappers of
+    /// one flow share a single cache key; semantically distinct knobs
+    /// never do.
+    #[test]
+    fn job_key_folds_the_normalized_spec() {
+        let spec = |text: &str| crate::FlowSpec::parse(text).expect("test specs parse");
+        let (p, _) = build_pair();
+        let paper = job_key(&p, &spec("paper"), 100);
+        for equivalent in [
+            "{mc(cut=4);mc(cut=6)}*",
+            " { mc( cut = 4 ) ; mc( cut = 6 ) } * ",
+            "par(threads=4){mc(cut=4);mc(cut=6)}*",
+        ] {
+            assert_eq!(paper, job_key(&p, &spec(equivalent), 100), "{equivalent}");
+        }
+        assert_ne!(
+            job_key(&p, &spec("mc(cut=4)"), 100),
+            job_key(&p, &spec("mc(cut=6)"), 100),
+            "distinct cut knobs must miss each other"
+        );
+        assert_ne!(
+            job_key(&p, &spec("mc(cut=6)*2"), 100),
+            job_key(&p, &spec("mc(cut=6)*3"), 100)
+        );
     }
 }

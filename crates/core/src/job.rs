@@ -2,17 +2,26 @@
 //! network plus a [`JobResult`] out.
 //!
 //! Service layers (the `mc-serve` daemon, batch drivers) should speak
-//! this API instead of composing passes themselves: a [`JobSpec`] names a
-//! flow by [`FlowKind`] and carries the two knobs a remote caller may
-//! reasonably pick (worker threads, round cap), and [`run_job`] executes
-//! it without exposing pass internals.
+//! this API instead of composing passes themselves: a [`JobSpec`]
+//! describes a flow as a [`FlowSpec`] (parsed from the wire, alias or
+//! full spec) and carries the two knobs a remote caller may reasonably
+//! pick (worker threads, round cap), and [`run_job`] executes it without
+//! exposing pass internals.
 //!
-//! [`run_job`] always routes through [`Pipeline::run_parallel`] — even
-//! for one thread — because the parallel engine is bit-identical across
+//! Every pass of a flow runs through [`Pass::run_parallel`] — even with
+//! one thread — because the parallel engine is bit-identical across
 //! thread counts. That makes the optimized network a function of
-//! `(circuit, flow, max_rounds)` alone, which is exactly the property a
-//! semantic result cache needs: the thread count may change wall-clock,
-//! never the answer.
+//! `(circuit, flow.normalized(), max_rounds)` alone, which is exactly
+//! the property a semantic result cache needs: thread counts (the job's
+//! or a `par{}` block's) may change wall-clock, never the answer.
+//!
+//! [`FlowKind`] — the closed three-flow enum this API exposed before the
+//! FlowSpec redesign — survives as a **deprecated thin shim**: each
+//! variant parses to its alias spec ([`FlowKind::spec`], or `.into()`),
+//! so historical call sites keep compiling while new code speaks
+//! [`FlowSpec`] directly.
+//!
+//! [`Pass::run_parallel`]: crate::Pass::run_parallel
 //!
 //! # Examples
 //!
@@ -37,33 +46,57 @@
 //! assert_eq!(result.ands_after, 1);
 //! assert!(result.converged);
 //! ```
+//!
+//! A custom flow from a spec string:
+//!
+//! ```
+//! # use xag_mc::{run_job, FlowSpec, JobSpec, OptContext};
+//! # use xag_network::Xag;
+//! # let mut xag = Xag::new();
+//! # let (a, b) = (xag.input(), xag.input());
+//! # let g = xag.and(a, b);
+//! # xag.output(g);
+//! let spec = JobSpec {
+//!     flow: "mc(cut=6);xor;cleanup*".parse().unwrap(),
+//!     ..JobSpec::default()
+//! };
+//! let mut ctx = OptContext::new();
+//! let result = run_job(&mut xag, &mut ctx, &spec);
+//! assert!(result.rounds > 0);
+//! ```
 
 use std::time::Duration;
 
 use xag_network::Xag;
 
 use crate::context::OptContext;
+use crate::flow::FlowSpec;
 use crate::pipeline::Pipeline;
 
-/// The named optimization flows a job may request.
+/// The historical named optimization flows.
+///
+/// **Deprecated shim**: the job API speaks [`FlowSpec`] now, and each
+/// variant here is nothing but a name for its alias spec — use
+/// [`FlowKind::spec`] (or `FlowSpec::from(kind)`) to convert, and prefer
+/// [`FlowSpec::parse`] for anything new. The enum remains because the
+/// service tiers still enumerate the canonical flows for zero-filled
+/// statistics rows ([`FlowKind::ALL`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FlowKind {
-    /// [`Pipeline::paper_flow`] — minimize multiplicative complexity
-    /// until convergence (the DAC'19 flow).
+    /// Alias `paper` — minimize multiplicative complexity until
+    /// convergence (the DAC'19 flow): `{mc(cut=4);mc(cut=6)}*`.
     #[default]
     Paper,
-    /// [`Pipeline::compress`] — generic size compression (the ABC-script
-    /// stand-in).
+    /// Alias `compress` — generic size compression (the ABC-script
+    /// stand-in): `{size(cut=4);size(cut=6);xor}*`.
     Compress,
-    /// [`Pipeline::from_params`] at its fast 4-cut setting — the
-    /// parameterized flow the [`crate::McOptimizer`] facade builds,
-    /// exposed on the wire as a lighter alternative to the full
-    /// small-then-wide cut schedule of the paper flow.
+    /// Alias `from_params` — the fast 4-cut flow the
+    /// [`crate::McOptimizer`] facade builds: `{mc(cut=4)}*`.
     FromParams,
 }
 
 impl FlowKind {
-    /// The stable name used on the wire and on CLI flags.
+    /// The stable alias used on the wire and on CLI flags.
     pub fn name(self) -> &'static str {
         match self {
             FlowKind::Paper => "paper",
@@ -72,11 +105,13 @@ impl FlowKind {
         }
     }
 
-    /// Every flow, in wire-name order — service tiers use this to report
-    /// a complete per-flow breakdown (zero-filled for flows not yet run).
+    /// Every canonical flow, in wire-name order — service tiers use this
+    /// to report a complete per-flow breakdown (zero-filled for flows
+    /// not yet run).
     pub const ALL: [FlowKind; 3] = [FlowKind::Paper, FlowKind::Compress, FlowKind::FromParams];
 
-    /// Parses a flow name; accepts the historical `paper_flow` spelling.
+    /// Parses a flow alias; accepts the historical `paper_flow`
+    /// spelling. For full spec strings use [`FlowSpec::parse`].
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "paper" | "paper_flow" => Some(FlowKind::Paper),
@@ -86,7 +121,17 @@ impl FlowKind {
         }
     }
 
+    /// The [`FlowSpec`] this alias expands to.
+    pub fn spec(self) -> FlowSpec {
+        FlowSpec::named(self.name()).expect("every FlowKind names a canonical alias")
+    }
+
     /// Builds the corresponding pipeline, capped at `max_rounds`.
+    ///
+    /// Kept for the shim's byte-identity contract:
+    /// `kind.pipeline(r)` and `kind.spec().to_pipeline(r)` construct the
+    /// same pass sequence, so pre-FlowSpec callers and spec-driven
+    /// callers optimize identically.
     pub fn pipeline(self, max_rounds: usize) -> Pipeline {
         let flow = match self {
             FlowKind::Paper => Pipeline::paper_flow(),
@@ -107,6 +152,12 @@ impl FlowKind {
     }
 }
 
+impl From<FlowKind> for FlowSpec {
+    fn from(kind: FlowKind) -> Self {
+        kind.spec()
+    }
+}
+
 impl core::fmt::Display for FlowKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str(self.name())
@@ -114,21 +165,22 @@ impl core::fmt::Display for FlowKind {
 }
 
 /// What to run on a submitted network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// The flow to run.
-    pub flow: FlowKind,
+    pub flow: FlowSpec,
     /// Worker threads for the sharded engine (≥ 1; does not change the
-    /// result, only wall-clock).
+    /// result, only wall-clock). `par{}` blocks in the flow override it
+    /// locally.
     pub threads: usize,
-    /// Cap on total pass executions.
+    /// Cap on total pass executions across the whole flow.
     pub max_rounds: usize,
 }
 
 impl Default for JobSpec {
     fn default() -> Self {
         Self {
-            flow: FlowKind::Paper,
+            flow: FlowSpec::default(),
             threads: 1,
             max_rounds: 100,
         }
@@ -152,7 +204,8 @@ pub struct JobResult {
     pub depth_after: usize,
     /// Pass executions used.
     pub rounds: usize,
-    /// True iff the flow converged before hitting `max_rounds`.
+    /// True iff the flow ran to completion (every until-convergence
+    /// group converged) without hitting `max_rounds`.
     pub converged: bool,
     /// Wall-clock time of the flow.
     pub elapsed: Duration,
@@ -160,17 +213,16 @@ pub struct JobResult {
 
 /// Runs `spec` on `xag` in place and reports the summary.
 ///
-/// The result network depends only on `(xag, spec.flow, spec.max_rounds)`
-/// — see the [module documentation](self) for why `spec.threads` cannot
-/// affect it.
+/// The result network depends only on
+/// `(xag, spec.flow.normalized(), spec.max_rounds)` — see the
+/// [module documentation](self) for why no thread count can affect it.
 pub fn run_job(xag: &mut Xag, ctx: &mut OptContext, spec: &JobSpec) -> JobResult {
     let ands_before = xag.num_ands();
     let xors_before = xag.num_xors();
     let depth_before = xag.and_depth();
     let stats = spec
         .flow
-        .pipeline(spec.max_rounds)
-        .run_parallel(xag, ctx, spec.threads.max(1));
+        .run(xag, ctx, spec.threads.max(1), spec.max_rounds);
     JobResult {
         ands_before,
         xors_before,
@@ -200,6 +252,12 @@ mod tests {
         x
     }
 
+    fn netlist_of(xag: &Xag) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_verilog(&xag.cleanup(), "m", &mut buf).expect("in-memory write");
+        buf
+    }
+
     #[test]
     fn flow_names_round_trip_and_accept_alias() {
         for f in FlowKind::ALL {
@@ -219,7 +277,7 @@ mod tests {
                 &mut xag,
                 &mut ctx,
                 &JobSpec {
-                    flow,
+                    flow: flow.into(),
                     ..JobSpec::default()
                 },
             );
@@ -243,12 +301,47 @@ mod tests {
                     ..JobSpec::default()
                 },
             );
-            let mut buf = Vec::new();
-            write_verilog(&xag.cleanup(), "m", &mut buf).expect("in-memory write");
-            buf
+            netlist_of(&xag)
         };
         let one = netlist(1);
         assert_eq!(one, netlist(2));
         assert_eq!(one, netlist(4));
+    }
+
+    /// The shim's acceptance contract: every historical `FlowKind` flow
+    /// produces a byte-identical netlist to its FlowSpec alias expansion
+    /// (both its alias name and the written-out spec text).
+    #[test]
+    fn flowkind_flows_match_their_spec_expansions_byte_for_byte() {
+        for kind in FlowKind::ALL {
+            let via_pipeline = {
+                let mut xag = redundant_network();
+                let mut ctx = OptContext::new();
+                kind.pipeline(100).run_parallel(&mut xag, &mut ctx, 1);
+                netlist_of(&xag)
+            };
+            let (_, expansion) = crate::flow::ALIASES
+                .iter()
+                .find(|(name, _)| *name == kind.name())
+                .expect("every FlowKind is listed in ALIASES");
+            for text in [kind.name(), *expansion] {
+                let mut xag = redundant_network();
+                let mut ctx = OptContext::new();
+                let result = run_job(
+                    &mut xag,
+                    &mut ctx,
+                    &JobSpec {
+                        flow: text.parse().expect("canonical specs parse"),
+                        ..JobSpec::default()
+                    },
+                );
+                assert!(result.converged, "{kind} via {text}");
+                assert_eq!(
+                    netlist_of(&xag),
+                    via_pipeline,
+                    "{kind} via {text} diverged from the FlowKind pipeline"
+                );
+            }
+        }
     }
 }

@@ -102,6 +102,7 @@ use xag_tt::Tt;
 pub mod canon;
 mod context;
 mod cost;
+pub mod flow;
 mod job;
 mod pass;
 mod pipeline;
@@ -112,6 +113,7 @@ mod xor_reduce;
 pub use canon::{canonical_form, fingerprint, job_key};
 pub use context::OptContext;
 pub use cost::{protocol_costs, ProtocolCosts};
+pub use flow::{FlowError, FlowItem, FlowSpec, FlowUnit, Repeat};
 pub use job::{run_job, FlowKind, JobResult, JobSpec};
 pub use pass::{Cleanup, McRewrite, ParRewrite, Pass, PassStats, SizeRewrite, XorReduce};
 pub use pipeline::{PassSummary, Pipeline, PipelineStats};

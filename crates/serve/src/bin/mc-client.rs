@@ -4,11 +4,18 @@
 //!
 //! ```text
 //! mc-client <addr> [CIRCUIT.txt | --bench NAME | --fuzz SEED]
-//!           [--flow paper|compress|from_params] [--threads N] [--max-rounds N]
+//!           [--flow SPEC | --flow-file PATH] [--threads N] [--max-rounds N]
 //!           [--format bristol|verilog] [--output bristol|verilog]
 //!           [--out PATH|-] [--retry N]
 //! mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown
+//! mc-client --list-flows
 //! ```
+//!
+//! `--flow` takes a FlowSpec — an alias (`paper`, `compress`,
+//! `from_params`) or a full spec like `'mc(cut=6);xor;cleanup*'`
+//! (see DESIGN.md §8 for the grammar); `--flow-file` reads the spec from
+//! a file, for flows too long to quote comfortably. `--list-flows`
+//! prints the canonical aliases with their expansions and exits.
 //!
 //! `--retry N` retries a refused initial connection up to `N` times with
 //! bounded exponential backoff — for scripts racing a daemon that is
@@ -31,18 +38,32 @@
 use mc_serve::{Client, OptimizeRequest};
 use xag_circuits::epfl::Scale;
 use xag_circuits::CircuitFormat;
-use xag_mc::FlowKind;
+use xag_mc::FlowSpec;
 use xag_network::fuzz::{random_xag, FuzzConfig};
 use xag_network::{write_bristol, Xag};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mc-client <addr> [CIRCUIT | --bench NAME | --fuzz SEED] \
-         [--flow paper|compress|from_params] [--threads N] [--max-rounds N] \
+         [--flow SPEC | --flow-file PATH] [--threads N] [--max-rounds N] \
          [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-] [--retry N]\n\
-         \x20      mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown"
+         \x20      mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown\n\
+         \x20      mc-client --list-flows"
     );
     std::process::exit(2);
+}
+
+fn list_flows() -> ! {
+    println!("canonical flow aliases (pass any alias or full spec to --flow):");
+    for (alias, expansion) in FlowSpec::aliases() {
+        println!("  {alias:<12} = {expansion}");
+    }
+    println!(
+        "\ngrammar: atoms mc(cut=N) | size(cut=N) | xor | cleanup, sequencing `;`,\n\
+         groups {{...}}, par(threads=N){{...}}, repetition *k, until-convergence *\n\
+         example: 'mc(cut=6);xor;cleanup*'"
+    );
+    std::process::exit(0);
 }
 
 fn fail(message: impl core::fmt::Display) -> ! {
@@ -71,11 +92,14 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    if args[0] == "--list-flows" {
+        list_flows();
+    }
     let addr = args[0].clone();
 
     let mut circuit: Option<String> = None;
     let mut format: Option<CircuitFormat> = None;
-    let mut flow = FlowKind::Paper;
+    let mut flow = FlowSpec::default();
     let mut threads = 1usize;
     let mut max_rounds = 100usize;
     let mut output = CircuitFormat::Bristol;
@@ -93,10 +117,18 @@ fn main() {
                 circuit = Some(bristol_text(&random_xag(&FuzzConfig::default(), seed)));
             }
             "--flow" => {
-                let name = value();
-                flow = FlowKind::from_name(&name)
-                    .unwrap_or_else(|| fail(format_args!("unknown flow: {name}")));
+                let text = value();
+                flow = FlowSpec::parse(&text)
+                    .unwrap_or_else(|e| fail(format_args!("invalid flow spec: {e}")));
             }
+            "--flow-file" => {
+                let path = value();
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+                flow = FlowSpec::parse(text.trim())
+                    .unwrap_or_else(|e| fail(format_args!("invalid flow spec in {path}: {e}")));
+            }
+            "--list-flows" => list_flows(),
             "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
             "--max-rounds" => max_rounds = value().parse().unwrap_or_else(|_| usage()),
             "--format" => {

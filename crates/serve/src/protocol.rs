@@ -15,7 +15,7 @@
 use std::io::{Read, Write};
 
 use xag_circuits::CircuitFormat;
-use xag_mc::FlowKind;
+use xag_mc::FlowSpec;
 
 use crate::json::{self, Json};
 
@@ -137,8 +137,12 @@ pub struct OptimizeRequest {
     pub circuit: String,
     /// Input format; `None` lets the server sniff it.
     pub format: Option<CircuitFormat>,
-    /// The flow to run.
-    pub flow: FlowKind,
+    /// The flow to run. On the wire this is a FlowSpec string (an alias
+    /// like `paper` or a full spec like `mc(cut=6);xor;cleanup*`),
+    /// parsed and resource-guard-validated at the service edge — a
+    /// malformed or hostile spec is a protocol error, never a worker
+    /// panic.
+    pub flow: FlowSpec,
     /// Worker threads for the job (clamped server-side to
     /// [`MAX_JOB_THREADS`]; never changes the result).
     pub threads: usize,
@@ -153,7 +157,7 @@ impl Default for OptimizeRequest {
         Self {
             circuit: String::new(),
             format: None,
-            flow: FlowKind::Paper,
+            flow: FlowSpec::default(),
             threads: 1,
             max_rounds: 100,
             output: CircuitFormat::Bristol,
@@ -261,7 +265,9 @@ pub struct StatusInfo {
 /// Per-flow job count and cumulative optimization time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowTiming {
-    /// Flow name ([`FlowKind::name`]).
+    /// The flow's canonical key: its normalized spec string
+    /// ([`FlowSpec::normalized`]), so alias and expansion submissions
+    /// land in one row.
     pub flow: String,
     /// Jobs computed under this flow (cache hits excluded).
     pub jobs: u64,
@@ -447,7 +453,7 @@ impl Request {
                     members.push(("format".to_string(), Json::from(f.name())));
                 }
                 members.extend([
-                    ("flow".to_string(), Json::from(o.flow.name())),
+                    ("flow".to_string(), Json::from(o.flow.to_string())),
                     ("threads".to_string(), Json::from(o.threads)),
                     ("max_rounds".to_string(), Json::from(o.max_rounds)),
                     ("output".to_string(), Json::from(o.output.name())),
@@ -506,12 +512,15 @@ impl Request {
                 };
                 // Absent fields default; present fields must be
                 // well-typed — a mistyped "flow" silently running the
-                // wrong flow would be far worse than an error.
+                // wrong flow would be far worse than an error. The
+                // FlowSpec parser also enforces the resource-guard
+                // limits, so a hostile `cleanup*9999999` dies right
+                // here, before anything is queued.
                 let flow = match value.get("flow") {
-                    None | Some(Json::Null) => FlowKind::Paper,
+                    None | Some(Json::Null) => FlowSpec::default(),
                     Some(v) => {
-                        let name = v.as_str().ok_or("non-string field: flow")?;
-                        FlowKind::from_name(name).ok_or_else(|| format!("unknown flow: {name}"))?
+                        let text = v.as_str().ok_or("non-string field: flow")?;
+                        FlowSpec::parse(text).map_err(|e| e.to_string())?
                     }
                 };
                 let output = match value.get("output") {
@@ -815,10 +824,17 @@ mod tests {
             Request::Optimize(OptimizeRequest {
                 circuit: "module m (a, o0);\n…".to_string(),
                 format: Some(CircuitFormat::Verilog),
-                flow: FlowKind::Compress,
+                flow: "compress".parse().expect("alias parses"),
                 threads: 4,
                 max_rounds: 25,
                 output: CircuitFormat::Verilog,
+            }),
+            Request::Optimize(OptimizeRequest {
+                circuit: "1 3\n1 2\n1 1\n\n2 1 0 1 2 AND\n".to_string(),
+                flow: "mc(cut=5)*2;par(threads=2){xor};cleanup*"
+                    .parse()
+                    .expect("spec parses"),
+                ..OptimizeRequest::default()
             }),
             Request::Optimize(OptimizeRequest::default()),
             Request::Status,
@@ -931,6 +947,43 @@ mod tests {
         assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","flow":2}"#).is_err());
         assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","output":1}"#).is_err());
         assert!(Response::from_payload(br#"{"type":"result"}"#).is_err());
+    }
+
+    /// The resource guard fires during request parsing — a hostile spec
+    /// is a structured protocol error naming the violated limit, and it
+    /// never reaches a worker.
+    #[test]
+    fn hostile_flow_specs_are_protocol_errors() {
+        let cases = [
+            (
+                r#"{"type":"optimize","circuit":"x","flow":"cleanup*9999999"}"#,
+                "limit",
+            ),
+            (
+                r#"{"type":"optimize","circuit":"x","flow":"{cleanup*1000}*1000"}"#,
+                "budget",
+            ),
+            (
+                r#"{"type":"optimize","circuit":"x","flow":"mc(cut=9)"}"#,
+                "cut size",
+            ),
+            (r#"{"type":"optimize","circuit":"x","flow":""}"#, "empty"),
+        ];
+        for (payload, needle) in cases {
+            let err = Request::from_payload(payload.as_bytes()).expect_err(payload);
+            assert!(err.contains(needle), "{payload}: {err}");
+        }
+        // A well-formed custom spec passes and keeps its structure.
+        let req = Request::from_payload(
+            br#"{"type":"optimize","circuit":"x","flow":" mc( cut = 6 ) ; xor ; cleanup * "}"#,
+        )
+        .expect("valid spec");
+        match req {
+            Request::Optimize(o) => {
+                assert_eq!(o.flow.to_string(), "mc(cut=6);xor;cleanup*");
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
     }
 
     #[test]

@@ -93,13 +93,42 @@ struct Job {
     reply: mpsc::Sender<CacheEntry>,
 }
 
+/// Bound on distinct per-flow statistics rows. Rows are keyed by
+/// client-controlled normalized specs, and the spec space is huge — an
+/// unbounded map would let a client grow server memory (and every
+/// `stats` frame, which the cluster router polls) without limit. Flows
+/// beyond the bound aggregate into [`FLOW_ROW_OTHER`].
+const MAX_FLOW_ROWS: usize = 64;
+
+/// Catch-all per-flow row once [`MAX_FLOW_ROWS`] distinct specs have
+/// been seen. Cannot collide with a real row: normalized specs never
+/// start with `(`.
+const FLOW_ROW_OTHER: &str = "(other)";
+
 /// Aggregate service counters (everything `stats` reports that the cache
 /// does not already count).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ServiceStats {
     jobs_served: u64,
-    /// flow name → (jobs computed, total optimization millis).
+    /// normalized flow spec → (jobs computed, total optimization
+    /// millis); at most [`MAX_FLOW_ROWS`] spec rows plus the catch-all.
     per_flow: BTreeMap<String, (u64, u64)>,
+}
+
+impl ServiceStats {
+    /// Starts with the canonical flows' rows pre-seeded: they always
+    /// satisfy the `contains_key` check in the worker loop, so custom-
+    /// spec churn can never displace a canonical flow into the
+    /// catch-all row.
+    fn new() -> Self {
+        Self {
+            jobs_served: 0,
+            per_flow: FlowKind::ALL
+                .iter()
+                .map(|f| (f.spec().normalized(), (0, 0)))
+                .collect(),
+        }
+    }
 }
 
 /// The semantic cache plus the in-flight coalescing map, under one lock
@@ -142,11 +171,13 @@ impl Shared {
     fn stats(&self) -> StatsInfo {
         let cs = self.cache.lock().expect("cache lock poisoned");
         let stats = self.stats.lock().expect("stats lock poisoned");
-        // Zero-filled rows for flows that have not run keep the per-flow
-        // breakdown complete for the router and `serve_bench`.
+        // Zero-filled rows for the canonical flows keep the per-flow
+        // breakdown complete for the router and `serve_bench`; rows are
+        // keyed by normalized spec, so alias and expansion submissions
+        // aggregate into one row (custom specs get their own).
         let mut per_flow: BTreeMap<String, (u64, u64)> = FlowKind::ALL
             .iter()
-            .map(|f| (f.name().to_string(), (0, 0)))
+            .map(|f| (f.spec().normalized(), (0, 0)))
             .collect();
         for (flow, &counts) in &stats.per_flow {
             per_flow.insert(flow.clone(), counts);
@@ -196,7 +227,7 @@ impl Server {
                 pending: HashMap::new(),
             }),
             ctx: Mutex::new(OptContext::new()),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: Mutex::new(ServiceStats::new()),
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
             next_job_id: AtomicU64::new(1),
@@ -406,7 +437,7 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
         threads: req.threads.clamp(1, MAX_JOB_THREADS),
         max_rounds: req.max_rounds.clamp(1, MAX_JOB_ROUNDS),
     };
-    let key = job_key(&xag, spec.flow.name(), spec.max_rounds);
+    let key = job_key(&xag, &spec.flow, spec.max_rounds);
 
     // Atomic lookup-or-register under the cache lock: a hit answers
     // immediately; a key with an in-flight computation parks a waiter (a
@@ -516,10 +547,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
-            let slot = stats
-                .per_flow
-                .entry(job.spec.flow.name().to_string())
-                .or_insert((0, 0));
+            let key = job.spec.flow.normalized();
+            let key = if stats.per_flow.contains_key(&key) || stats.per_flow.len() < MAX_FLOW_ROWS {
+                key
+            } else {
+                FLOW_ROW_OTHER.to_string()
+            };
+            let slot = stats.per_flow.entry(key).or_insert((0, 0));
             slot.0 += 1;
             slot.1 += entry.millis;
         }

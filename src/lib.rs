@@ -18,7 +18,10 @@
 //!   pass-based pipeline: [`mc::Pass`] implementations
 //!   ([`mc::McRewrite`], [`mc::SizeRewrite`], [`mc::XorReduce`],
 //!   [`mc::Cleanup`]) composed by [`mc::Pipeline`] over a shared
-//!   [`mc::OptContext`], with [`mc::McOptimizer`] as the one-call facade;
+//!   [`mc::OptContext`], with [`mc::McOptimizer`] as the one-call facade
+//!   and [`mc::FlowSpec`] as the serializable flow-description language
+//!   the service tiers speak (`mc(cut=6);xor;cleanup*`-style specs,
+//!   DESIGN.md §8);
 //! * [`circuits`] — EPFL-style and MPC/FHE benchmark generators.
 //!
 //! # Quickstart

@@ -220,6 +220,67 @@ fn killing_a_backend_mid_stream_loses_no_job() {
     router.shutdown();
 }
 
+/// The FlowSpec acceptance scenario: a custom `mc(cut=6);xor;cleanup*`
+/// flow round-trips through router → backend, equivalence-checks against
+/// the input, and an isomorphic resubmission with a whitespace-variant
+/// spec (and a `par{}`-wrapped one) is a cluster-wide cache hit — the
+/// router and the backend agree bit for bit on the spec-inclusive key.
+#[test]
+fn custom_flow_spec_round_trips_with_cluster_wide_cache_affinity() {
+    let router = lenient_router();
+    let addr = router.local_addr();
+    let backends = boot_backends(&addr.to_string(), 2, 2);
+    let mut client = Client::connect(addr).expect("connect");
+    wait_for_backends(&mut client, 2);
+
+    let input = random_xag(&FuzzConfig::default(), 4711);
+    let mut submit = |flow: &str| {
+        client
+            .optimize(OptimizeRequest {
+                circuit: bristol_text(&input),
+                flow: flow.parse().expect("valid spec"),
+                ..OptimizeRequest::default()
+            })
+            .expect("optimize through the router")
+    };
+
+    let first = submit("mc(cut=6);xor;cleanup*");
+    assert!(!first.cached, "cold custom flow computes");
+    let back = read_bristol(first.netlist.as_bytes()).expect("parse response");
+    assert!(
+        equiv_exhaustive(&input, &back),
+        "custom flow broke equivalence"
+    );
+
+    // Isomorphic resubmissions under spec variants that normalize to the
+    // same canonical bytes must land on the warm backend.
+    for variant in [
+        " mc( cut = 6 ) ; xor ; cleanup * ",
+        "par(threads=2){mc(cut=6);xor};cleanup*",
+        "{mc(cut=6)};xor;cleanup*",
+    ] {
+        let hit = submit(variant);
+        assert!(hit.cached, "{variant} must be a cluster-wide cache hit");
+        assert_eq!(hit.job_id, first.job_id, "{variant}");
+        assert_eq!(hit.netlist, first.netlist, "{variant}");
+    }
+    // A semantically different spec is a different job.
+    let other = submit("mc(cut=4);xor;cleanup*");
+    assert!(!other.cached, "a different cut knob is a different job");
+
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let cstats = probe.cluster_stats().expect("cluster_stats");
+    let misses: u64 = cstats.backends.iter().map(|b| b.cache_misses).sum();
+    let hits: u64 = cstats.backends.iter().map(|b| b.cache_hits).sum();
+    assert_eq!(misses, 2, "one miss per distinct normalized spec");
+    assert_eq!(hits, 3, "every variant resubmission hit a warm cache");
+
+    for b in backends {
+        b.shutdown();
+    }
+    router.shutdown();
+}
+
 /// A malformed upload is refused at the router's edge and consumes no
 /// backend dispatch; the connection keeps working.
 #[test]

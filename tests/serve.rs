@@ -6,7 +6,7 @@
 use std::time::Instant;
 
 use mc_serve::{Client, OptimizeRequest, ServeConfig, Server};
-use xag_mc::FlowKind;
+use xag_mc::{FlowKind, FlowSpec};
 use xag_network::fuzz::{random_xag, FuzzConfig};
 use xag_network::{equiv_exhaustive, read_bristol, write_bristol, Xag};
 
@@ -95,10 +95,13 @@ fn two_clients_get_equivalent_results_and_cache_hits() {
     assert_eq!(after.cache_misses, before.cache_misses);
     assert_eq!(after.jobs_served, before.jobs_served + 1);
     assert!(after.hit_rate() > 0.0);
+    // Per-flow rows are keyed by normalized spec; the default flow is
+    // the `paper` alias.
+    let paper = FlowSpec::default().normalized();
     assert!(after
         .flows
         .iter()
-        .any(|t| t.flow == "paper" && t.jobs == 2 * JOBS_PER_CLIENT));
+        .any(|t| t.flow == paper && t.jobs == 2 * JOBS_PER_CLIENT));
 
     client.shutdown().expect("shutdown");
     handle.join();
@@ -147,15 +150,166 @@ fn isomorphic_submission_is_a_cache_hit() {
     assert_eq!(second.job_id, first.job_id);
     assert_eq!(second.netlist, first.netlist);
 
-    // A different flow is a different job, not a hit.
+    // A different flow is a different job, not a hit (via the deprecated
+    // FlowKind shim, which must keep compiling and keep its wire name).
     let compress = client
         .optimize(OptimizeRequest {
             circuit: bristol_text(&p),
-            flow: FlowKind::Compress,
+            flow: FlowKind::Compress.into(),
             ..OptimizeRequest::default()
         })
         .expect("compress");
     assert!(!compress.cached);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The FlowSpec cache-key contract over the wire: the `paper` alias and
+/// its written-out expansion (plus whitespace and `par{}` variants) are
+/// one job — one miss, then hits — while `mc(cut=4)` and `mc(cut=6)`
+/// provably miss each other.
+#[test]
+fn alias_and_expanded_spec_share_one_cache_entry() {
+    let handle = boot(1);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let circuit = bristol_text(&random_xag(&FuzzConfig::default(), 21));
+    let submit = |client: &mut Client, flow: &str| {
+        client
+            .optimize(OptimizeRequest {
+                circuit: circuit.clone(),
+                flow: flow.parse().expect("valid spec"),
+                ..OptimizeRequest::default()
+            })
+            .expect("optimize")
+    };
+
+    let first = submit(&mut client, "paper");
+    assert!(!first.cached, "cold alias submission computes");
+    for variant in [
+        "{mc(cut=4);mc(cut=6)}*",
+        " { mc( cut = 4 ) ; mc( cut = 6 ) } * ",
+        "par(threads=2){mc(cut=4);mc(cut=6)}*",
+        "paper_flow",
+    ] {
+        let hit = submit(&mut client, variant);
+        assert!(hit.cached, "{variant} must hit the alias's entry");
+        assert_eq!(hit.job_id, first.job_id, "{variant}");
+        assert_eq!(hit.netlist, first.netlist, "{variant}");
+    }
+
+    let four = submit(&mut client, "mc(cut=4)");
+    assert!(!four.cached, "mc(cut=4) is its own job");
+    let six = submit(&mut client, "mc(cut=6)");
+    assert!(!six.cached, "mc(cut=6) must miss mc(cut=4)'s entry");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_misses, 3, "paper, mc(cut=4), mc(cut=6)");
+    assert_eq!(stats.cache_hits, 4, "every paper variant hit");
+    // The alias variants aggregate into one per-flow row.
+    let paper_row = stats
+        .flows
+        .iter()
+        .find(|t| t.flow == FlowSpec::default().normalized())
+        .expect("paper row");
+    assert_eq!(paper_row.jobs, 1, "one computation across all variants");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The per-flow statistics map is bounded: a client cycling through
+/// distinct specs cannot grow server memory (or the stats frame the
+/// router polls) without limit — past the row bound, new flows aggregate
+/// into the `(other)` catch-all row.
+#[test]
+fn per_flow_stats_rows_are_bounded() {
+    const DISTINCT_SPECS: u64 = 70; // > the server's 64-row bound
+    let handle = boot(2);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // A tiny circuit and trivial cleanup-only flows keep each job cheap.
+    let mut x = Xag::new();
+    let (a, b) = (x.input(), x.input());
+    let g = x.and(a, b);
+    x.output(g);
+    let circuit = bristol_text(&x);
+    for k in 0..DISTINCT_SPECS {
+        client
+            .optimize(OptimizeRequest {
+                circuit: circuit.clone(),
+                flow: format!("cleanup*{}", k + 2).parse().expect("valid spec"),
+                ..OptimizeRequest::default()
+            })
+            .expect("optimize");
+    }
+
+    let stats = client.stats().expect("stats");
+    // The 64-row bound (3 slots pre-seeded for the canonical flows)
+    // plus the catch-all.
+    assert!(
+        stats.flows.len() <= 64 + 1,
+        "flow rows must stay bounded, got {}",
+        stats.flows.len()
+    );
+    let other = stats
+        .flows
+        .iter()
+        .find(|t| t.flow == "(other)")
+        .expect("overflow flows aggregate into the catch-all row");
+    assert_eq!(
+        other.jobs,
+        DISTINCT_SPECS - (64 - 3),
+        "jobs past the bound land in the catch-all"
+    );
+    // The pre-seeded canonical rows survive the churn un-displaced.
+    let paper = FlowSpec::default().normalized();
+    assert!(stats.flows.iter().any(|t| t.flow == paper));
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The resource guard at the service edge: a hostile spec in a raw frame
+/// is answered with a structured protocol error naming the limit, the
+/// connection survives, and no worker ever sees the job.
+#[test]
+fn hostile_flow_spec_is_rejected_at_the_edge() {
+    use mc_serve::protocol::{read_frame, write_frame, Response};
+
+    let handle = boot(1);
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+
+    let mut reject = |flow: &str, needle: &str| {
+        let payload = format!(
+            r#"{{"type":"optimize","circuit":"1 3\n1 2\n1 1\n\n2 1 0 1 2 AND\n","flow":"{flow}"}}"#
+        );
+        write_frame(&mut stream, payload.as_bytes()).expect("write frame");
+        let reply = read_frame(&mut stream).expect("read frame").expect("reply");
+        match Response::from_payload(&reply).expect("parse response") {
+            Response::Error { message } => {
+                assert!(message.contains(needle), "{flow}: {message}")
+            }
+            other => panic!("{flow}: expected an error, got {other:?}"),
+        }
+    };
+    reject("cleanup*9999999", "limit");
+    reject("{cleanup*1000}*1000", "budget");
+    reject("mc(cut=7)", "cut size");
+
+    // The daemon is still healthy on a typed connection.
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let input = random_xag(&FuzzConfig::default(), 3);
+    let result = client
+        .optimize(OptimizeRequest {
+            circuit: bristol_text(&input),
+            ..OptimizeRequest::default()
+        })
+        .expect("daemon still healthy");
+    let back = read_bristol(result.netlist.as_bytes()).expect("parse");
+    assert!(equiv_exhaustive(&input, &back));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_served, 1, "rejected specs never became jobs");
 
     client.shutdown().expect("shutdown");
     handle.join();
@@ -274,11 +428,18 @@ fn ping_round_trips_and_cluster_frames_are_rejected() {
     // The connection survives the rejections.
     assert!(client.ping().is_ok());
 
-    // Stats carry the uptime and the complete per-flow breakdown.
+    // Stats carry the uptime and the complete per-flow breakdown —
+    // zero-filled rows keyed by the canonical flows' normalized specs.
     let stats = client.stats().expect("stats");
     let names: Vec<&str> = stats.flows.iter().map(|f| f.flow.as_str()).collect();
-    for flow in ["paper", "compress", "from_params"] {
-        assert!(names.contains(&flow), "missing flow row {flow}: {names:?}");
+    for alias in ["paper", "compress", "from_params"] {
+        let row = FlowSpec::named(alias)
+            .expect("canonical alias")
+            .normalized();
+        assert!(
+            names.contains(&row.as_str()),
+            "missing flow row {row}: {names:?}"
+        );
     }
 
     client.shutdown().expect("shutdown");
