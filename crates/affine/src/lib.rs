@@ -39,8 +39,7 @@
 //! assert_eq!(AffineOp::apply_all(Tt::from_bits(0xe8, 3), &maj.ops), maj.representative);
 //! ```
 
-use std::collections::HashMap;
-
+use xag_tt::hash::FxHashMap;
 use xag_tt::{AffineOp, Tt};
 
 mod beam;
@@ -95,7 +94,7 @@ impl Default for ClassifyConfig {
 #[derive(Debug, Clone, Default)]
 pub struct AffineClassifier {
     config: ClassifyConfig,
-    cache: HashMap<Tt, Classification>,
+    cache: FxHashMap<Tt, Classification>,
     hits: u64,
     misses: u64,
 }

@@ -57,6 +57,22 @@ fn main() {
         let flow = run_flow_threads(&mut ctx, &bench.xag, 0, max_rounds, threads);
         if let Some(p) = &flow.parallel {
             speedups.push(p.speedup());
+            // The 1-vs-N wall-time ratio as its own trajectory row:
+            // `wall_s` carries the speedup, the count fields the
+            // (bit-identical) parallel result.
+            records.push(BenchRecord {
+                bench: "table2".to_string(),
+                name: format!("{}/par_speedup", bench.name),
+                size_before: bench.xag.num_gates(),
+                size_after: flow.optimized.num_gates(),
+                depth_before: 0,
+                depth_after: 0,
+                mc_before: bench.xag.num_ands(),
+                mc_after: p.counts.0,
+                wall_s: p.speedup(),
+                threads,
+                flow: xag_mc::FlowSpec::default().normalized(),
+            });
         }
         records.push(BenchRecord {
             bench: "table2".to_string(),

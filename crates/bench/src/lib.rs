@@ -9,13 +9,20 @@
 //! binaries print the corresponding tables.
 //!
 //! The [`harness`] module is the workspace's dependency-free criterion
-//! stand-in used by the targets under `benches/`.
+//! stand-in used by the targets under `benches/`. The [`hotpath`] module
+//! holds the shared machinery of the hot-path microbenchmarks (workload
+//! set, pre-overhaul baseline, counting allocator), and [`gate`] the
+//! comparator the `bench_gate` binary uses to hold every PR to the
+//! committed `BENCH_*.json` perf trajectory.
 
 pub mod experiment;
+pub mod gate;
 pub mod harness;
+pub mod hotpath;
 
 pub use experiment::{
     normalized_geomean, run_flow, run_flow_threads, run_flow_with, FlowResult, ParallelResult,
     TableRow,
 };
+pub use gate::{compare, read_bench_json, GateTolerance};
 pub use harness::{json_path_from_args, write_bench_json, BenchRecord};

@@ -36,7 +36,7 @@
 //! land on a warm backend.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use xag_network::{NodeId, NodeKind, Xag};
 
@@ -47,36 +47,39 @@ pub fn canonical_form(xag: &Xag) -> Vec<u8> {
     let x = xag.cleanup();
     let gates = x.live_gates();
 
+    // Dense side-tables — `cleanup` rebuilds the network with compact
+    // node ids, so `x.capacity()` is tight and Vec indexing beats any
+    // hash map here.
+    //
     // label[node] — inputs get 1..=n_in (const node is 0), gates are
     // numbered on assignment below.
-    let mut label: HashMap<NodeId, u32> = HashMap::with_capacity(gates.len() + x.num_inputs() + 1);
-    label.insert(0, 0);
+    let mut label: Vec<u32> = vec![0; x.capacity()];
     for i in 0..x.num_inputs() {
-        label.insert(x.input_signal(i).node(), i as u32 + 1);
+        label[x.input_signal(i).node() as usize] = i as u32 + 1;
     }
 
     // Dependency counts and fanout adjacency among the live gates.
-    let mut pending: HashMap<NodeId, u32> = HashMap::with_capacity(gates.len());
-    let mut fanout: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut pending: Vec<u32> = vec![0; x.capacity()];
+    let mut fanout: Vec<Vec<NodeId>> = vec![Vec::new(); x.capacity()];
     for &g in &gates {
         let (f0, f1) = x.fanins(g);
         let mut deps = 0;
         for f in [f0, f1] {
             if x.is_gate(f.node()) {
                 deps += 1;
-                fanout.entry(f.node()).or_default().push(g);
+                fanout[f.node() as usize].push(g);
             }
         }
-        pending.insert(g, deps);
+        pending[g as usize] = deps;
     }
 
     // Encoded operand: label in the high bits, complement in the low bit
     // — so ordering by the encoding orders by (label, complement).
-    let op_of = |label: &HashMap<NodeId, u32>, s: xag_network::Signal| -> u64 {
-        let l = *label.get(&s.node()).expect("fanin labeled before fanout") as u64;
+    let op_of = |label: &[u32], s: xag_network::Signal| -> u64 {
+        let l = label[s.node() as usize] as u64;
         (l << 1) | s.is_complement() as u64
     };
-    let entry_of = |label: &HashMap<NodeId, u32>, x: &Xag, g: NodeId| -> (u8, u64, u64, NodeId) {
+    let entry_of = |label: &[u32], x: &Xag, g: NodeId| -> (u8, u64, u64, NodeId) {
         let (f0, f1) = x.fanins(g);
         let (mut a, mut b) = (op_of(label, f0), op_of(label, f1));
         if a > b {
@@ -95,22 +98,20 @@ pub fn canonical_form(xag: &Xag) -> Vec<u8> {
     // the key prefix unique, so the trailing NodeId never decides.
     let mut ready: BinaryHeap<Reverse<(u8, u64, u64, NodeId)>> = gates
         .iter()
-        .filter(|g| pending[g] == 0)
+        .filter(|&&g| pending[g as usize] == 0)
         .map(|&g| Reverse(entry_of(&label, &x, g)))
         .collect();
     let mut ordered: Vec<(u8, u64, u64)> = Vec::with_capacity(gates.len());
     let mut next_label = x.num_inputs() as u32 + 1;
     while let Some(Reverse((kind, a, b, g))) = ready.pop() {
-        label.insert(g, next_label);
+        label[g as usize] = next_label;
         next_label += 1;
         ordered.push((kind, a, b));
-        if let Some(children) = fanout.get(&g) {
-            for &c in children {
-                let p = pending.get_mut(&c).expect("every gate has a pending count");
-                *p -= 1;
-                if *p == 0 {
-                    ready.push(Reverse(entry_of(&label, &x, c)));
-                }
+        for &c in &fanout[g as usize] {
+            let p = &mut pending[c as usize];
+            *p -= 1;
+            if *p == 0 {
+                ready.push(Reverse(entry_of(&label, &x, c)));
             }
         }
     }

@@ -1,11 +1,10 @@
 //! Shared optimization state: the classifier, the synthesizer, and the
 //! on-demand representative database.
 
-use std::collections::HashMap;
-
 use xag_affine::{AffineClassifier, ClassifyConfig};
 use xag_network::XagFragment;
 use xag_synth::{SynthConfig, Synthesizer};
+use xag_tt::hash::FxHashMap;
 use xag_tt::Tt;
 
 /// The state every optimization pass shares: the affine classifier, the
@@ -35,7 +34,7 @@ pub struct OptContext {
     classifier: AffineClassifier,
     synth: Synthesizer,
     /// The `XAG_DB` of the paper: representative truth table → circuit.
-    db: HashMap<Tt, XagFragment>,
+    db: FxHashMap<Tt, XagFragment>,
 }
 
 impl OptContext {
@@ -50,7 +49,7 @@ impl OptContext {
         Self {
             classifier: AffineClassifier::with_config(classify),
             synth: Synthesizer::with_config(synth),
-            db: HashMap::new(),
+            db: FxHashMap::default(),
         }
     }
 

@@ -14,8 +14,8 @@
 
 use std::time::{Duration, Instant};
 
-use xag_cuts::{enumerate_cuts, CutParams};
-use xag_network::{Signal, Xag, XagFragment};
+use xag_cuts::{enumerate_cuts_for, CutParams};
+use xag_network::{ConeScratch, NodeId, NodeKind, Signal, TopoScratch, Xag, XagFragment};
 
 use crate::context::OptContext;
 use crate::stats::RoundStats;
@@ -128,20 +128,28 @@ pub(crate) fn rewrite_round(
     pass_name: &str,
 ) -> PassStats {
     let start = Instant::now();
-    let ands_before = xag.num_ands();
-    let xors_before = xag.num_xors();
+    let mut topo = TopoScratch::new();
+    let mut order: Vec<NodeId> = Vec::new();
+    xag.live_gates_into(&mut topo, &mut order);
+    let (ands_before, xors_before) = count_gates(xag, &order);
     let mut applied = 0usize;
     let mut considered = 0usize;
 
-    let sets = enumerate_cuts(xag, cut_params);
-    let order = xag.live_gates();
-    for root in order {
+    // Enumeration computes every cut's function in the same bottom-up sweep;
+    // those tables describe the network as it is *now*. They stay valid until
+    // the first accepted substitution, after which cut functions must be
+    // re-derived on the mutated network.
+    let sets = enumerate_cuts_for(xag, &order, cut_params);
+    let mut cone = ConeScratch::new();
+    let mut mutated = false;
+    for &root in &order {
         if xag.is_dead(root) {
             continue;
         }
         // Find the best replacement among this node's cuts.
-        let mut best: Option<(i64, XagFragment, Vec<Signal>)> = None;
-        for cut in sets.of(root) {
+        let mut best: Option<(i64, XagFragment, [Signal; 6], usize)> = None;
+        let tts = sets.functions_of(root);
+        for (ci, cut) in sets.of(root).iter().enumerate() {
             if cut.size() < 2 {
                 continue; // trivial and single-leaf cuts
             }
@@ -150,57 +158,77 @@ pub(crate) fn rewrite_round(
             if cut.leaves().iter().any(|&l| xag.is_dead(l)) {
                 continue;
             }
-            let Some(tt) = xag.cone_tt(root, cut.leaves()) else {
-                continue;
+            let tt = if mutated {
+                match xag.cone_tt_with(root, cut.leaves(), &mut cone) {
+                    Some(tt) => tt,
+                    None => continue,
+                }
+            } else {
+                tts[ci]
             };
             if tt.is_constant() {
                 continue;
             }
             considered += 1;
             let candidate = ctx.candidate_for_cut(tt);
-            let leaves: Vec<Signal> = cut
-                .leaves()
-                .iter()
-                .map(|&l| Signal::new(l, false))
-                .collect();
+            let mut leaves = [Signal::CONST0; 6];
+            for (k, &l) in cut.leaves().iter().enumerate() {
+                leaves[k] = Signal::new(l, false);
+            }
+            let nl = cut.size();
             let (freed_ands, freed_total) = xag.deref_cone(root, cut.leaves());
-            let (added_ands, added_total) = candidate.count_new_gates(xag, &leaves);
+            let (added_ands, added_total) = candidate.count_new_gates(xag, &leaves[..nl]);
             xag.ref_cone(root, cut.leaves());
             let gain = match objective {
                 Objective::MultiplicativeComplexity => freed_ands as i64 - added_ands as i64,
                 Objective::Size => freed_total as i64 - added_total as i64,
             };
-            if gain > 0 && best.as_ref().map(|(g, _, _)| gain > *g).unwrap_or(true) {
-                best = Some((gain, candidate, leaves));
+            if gain > 0 && best.as_ref().map(|(g, ..)| gain > *g).unwrap_or(true) {
+                best = Some((gain, candidate, leaves, nl));
             }
         }
-        if let Some((_, candidate, leaves)) = best {
+        if let Some((_, candidate, leaves, nl)) = best {
             let watermark = xag.capacity();
-            let new_sig = candidate.instantiate(xag, &leaves);
+            let new_sig = candidate.instantiate(xag, &leaves[..nl]);
             if new_sig.node() != root && !xag.is_in_tfi(root, new_sig) {
                 xag.substitute(root, new_sig);
                 applied += 1;
+                mutated = true;
             } else {
                 // The instantiated candidate was rejected (it resolved to
                 // the root itself, or substituting would create a cycle).
                 // Its freshly created nodes are referenced by nothing —
                 // reclaim everything above the pre-instantiation watermark
                 // instead of leaving garbage in the arena round after round.
+                // This leaves every pre-existing cone untouched, so the
+                // enumeration-time cut functions remain valid.
                 xag.reclaim_above(watermark);
             }
         }
     }
 
+    xag.live_gates_into(&mut topo, &mut order);
+    let (ands_after, xors_after) = count_gates(xag, &order);
     PassStats {
         pass: pass_name.to_string(),
         ands_before,
         xors_before,
-        ands_after: xag.num_ands(),
-        xors_after: xag.num_xors(),
+        ands_after,
+        xors_after,
         rewrites_applied: applied,
         cuts_considered: considered,
         elapsed: start.elapsed(),
     }
+}
+
+/// Counts `(AND, XOR)` gates of a topological order in one walk, instead of
+/// two full `num_ands`/`num_xors` DFS passes.
+pub(crate) fn count_gates(xag: &Xag, order: &[NodeId]) -> (usize, usize) {
+    let ands = order
+        .iter()
+        .filter(|&&n| xag.kind(n) == NodeKind::And)
+        .count();
+    (ands, order.len() - ands)
 }
 
 /// Cut rewriting minimizing multiplicative complexity — the paper's

@@ -31,13 +31,13 @@
 //! randomness is the seeded shard-claim shuffle (load balancing), which
 //! affects wall-clock only; it draws from [`mc_rng`], never wall-clock.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use mc_rng::Rng;
-use xag_cuts::{enumerate_cuts, CutParams, CutSets};
-use xag_network::{FragRef, NodeId, NodeKind, Signal, Xag, XagFragment};
+use xag_cuts::{enumerate_cuts_for, CutParams, CutSets};
+use xag_network::{ConeScratch, FragRef, NodeId, NodeKind, Signal, Xag, XagFragment};
+use xag_tt::hash::{FxHashMap, FxHashSet};
 use xag_tt::Tt;
 
 use crate::context::OptContext;
@@ -90,23 +90,27 @@ pub fn partition_windows(
     // Window assignment, bottom-up: a single-fanout gate joins its
     // consumer's window once that consumer is seen; since `order` is
     // topological, walk it in reverse so consumers are assigned first.
-    let mut window_of: HashMap<NodeId, NodeId> = HashMap::new();
+    // Node ids are dense, so the assignment is a flat side table.
+    const UNASSIGNED: NodeId = NodeId::MAX;
+    let mut window_of: Vec<NodeId> = vec![UNASSIGNED; xag.capacity()];
     for &n in order.iter().rev() {
-        window_of.entry(n).or_insert(n);
-        let root = window_of[&n];
+        if window_of[n as usize] == UNASSIGNED {
+            window_of[n as usize] = n;
+        }
+        let root = window_of[n as usize];
         let (f0, f1) = xag.fanins(n);
         for f in [f0, f1] {
             let fi = f.node();
             if xag.is_gate(fi) && xag.nref(fi) == 1 {
-                window_of.insert(fi, root);
+                window_of[fi as usize] = root;
             }
         }
     }
     // Collect window members in topological order, keyed by window root.
-    let mut members: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut members: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
     let mut window_order: Vec<NodeId> = Vec::new();
     for &n in order {
-        let root = window_of[&n];
+        let root = window_of[n as usize];
         let entry = members.entry(root).or_default();
         if entry.is_empty() {
             window_order.push(root);
@@ -146,25 +150,45 @@ pub fn partition_windows(
     shards
 }
 
+/// Reusable buffers for [`frozen_mffc_with`]: one decrement map and one
+/// doomed set per worker, cleared (capacity kept) per measured cut instead
+/// of freshly allocated.
+#[derive(Debug, Default)]
+struct MffcScratch {
+    dec: FxHashMap<NodeId, u32>,
+    doomed: FxHashSet<NodeId>,
+}
+
 /// Read-only MFFC measurement on a frozen network: the `(AND, total)`
-/// gates that removing `root` (bounded by `leaves`) would free, plus the
-/// member set. Mirrors [`Xag::deref_cone`] with a local decrement map
-/// instead of mutating reference counts, so any number of workers can
-/// measure overlapping cones concurrently.
-fn frozen_mffc(xag: &Xag, root: NodeId, leaves: &[NodeId]) -> (u32, u32, HashSet<NodeId>) {
-    let mut dec: HashMap<NodeId, u32> = HashMap::new();
-    let mut doomed: HashSet<NodeId> = HashSet::new();
-    doomed.insert(root);
-    let (ands, total) = frozen_mffc_rec(xag, root, leaves, &mut dec, &mut doomed);
-    (ands, total, doomed)
+/// gates that removing `root` (bounded by `leaves`) would free. The member
+/// set is left in `scratch.doomed`. Mirrors [`Xag::deref_cone`] with a
+/// local decrement map instead of mutating reference counts, so any number
+/// of workers can measure overlapping cones concurrently.
+fn frozen_mffc_with(
+    xag: &Xag,
+    root: NodeId,
+    leaves: &[NodeId],
+    scratch: &mut MffcScratch,
+) -> (u32, u32) {
+    scratch.dec.clear();
+    scratch.doomed.clear();
+    scratch.doomed.insert(root);
+    frozen_mffc_rec(xag, root, leaves, &mut scratch.dec, &mut scratch.doomed)
+}
+
+#[cfg(test)]
+fn frozen_mffc(xag: &Xag, root: NodeId, leaves: &[NodeId]) -> (u32, u32, FxHashSet<NodeId>) {
+    let mut scratch = MffcScratch::default();
+    let (ands, total) = frozen_mffc_with(xag, root, leaves, &mut scratch);
+    (ands, total, scratch.doomed)
 }
 
 fn frozen_mffc_rec(
     xag: &Xag,
     n: NodeId,
     leaves: &[NodeId],
-    dec: &mut HashMap<NodeId, u32>,
-    doomed: &mut HashSet<NodeId>,
+    dec: &mut FxHashMap<NodeId, u32>,
+    doomed: &mut FxHashSet<NodeId>,
 ) -> (u32, u32) {
     let mut ands = (xag.kind(n) == NodeKind::And) as u32;
     let mut total = 1u32;
@@ -194,9 +218,11 @@ fn estimate_new_gates(
     xag: &Xag,
     frag: &XagFragment,
     leaves: &[Signal],
-    doomed: &HashSet<NodeId>,
+    doomed: &FxHashSet<NodeId>,
+    outs: &mut Vec<Option<Signal>>,
 ) -> (usize, usize) {
-    let mut outs: Vec<Option<Signal>> = Vec::with_capacity(frag.gates().len());
+    outs.clear();
+    outs.reserve(frag.gates().len());
     let mut added_ands = 0usize;
     let mut added_total = 0usize;
     let resolve = |r: FragRef, outs: &[Option<Signal>]| -> Option<Signal> {
@@ -207,8 +233,8 @@ fn estimate_new_gates(
         }
     };
     for gate in frag.gates() {
-        let a = resolve(gate.a, &outs);
-        let b = resolve(gate.b, &outs);
+        let a = resolve(gate.a, outs);
+        let b = resolve(gate.b, outs);
         let hit = match (a, b) {
             (Some(a), Some(b)) => {
                 if gate.is_and {
@@ -249,37 +275,49 @@ fn estimate_new_gates(
 /// Evaluates every cut of every root in one shard against the frozen
 /// network and returns the best proposal per root (plus the number of cut
 /// candidates considered).
+///
+/// Cut functions come straight out of the enumeration sweep
+/// ([`CutSets::functions_of`]): the snapshot is frozen for the whole
+/// proposal phase, so the tables computed during enumeration are exactly
+/// what a cone traversal would return — enumeration and function
+/// computation are one fused pass.
 fn propose_shard(
     xag: &Xag,
     ctx: &mut OptContext,
     sets: &CutSets,
     shard: &Shard,
-    pos: &HashMap<NodeId, usize>,
+    pos: &[usize],
     objective: Objective,
 ) -> (Vec<Proposal>, usize) {
     let mut proposals = Vec::new();
     let mut considered = 0usize;
+    let mut mffc = MffcScratch::default();
+    let mut outs: Vec<Option<Signal>> = Vec::new();
     for &root in &shard.roots {
         let mut best: Option<(i64, Proposal)> = None;
-        for cut in sets.of(root) {
+        let tts = sets.functions_of(root);
+        for (ci, cut) in sets.of(root).iter().enumerate() {
             if cut.size() < 2 {
                 continue; // trivial and single-leaf cuts
             }
-            let Some(tt) = xag.cone_tt(root, cut.leaves()) else {
-                continue;
-            };
+            let tt = tts[ci];
             if tt.is_constant() {
                 continue;
             }
             considered += 1;
             let candidate = ctx.candidate_for_cut(tt);
-            let leaves: Vec<Signal> = cut
-                .leaves()
-                .iter()
-                .map(|&l| Signal::new(l, false))
-                .collect();
-            let (freed_ands, freed_total, doomed) = frozen_mffc(xag, root, cut.leaves());
-            let (added_ands, added_total) = estimate_new_gates(xag, &candidate, &leaves, &doomed);
+            let mut leaves = [Signal::CONST0; 6];
+            for (k, &l) in cut.leaves().iter().enumerate() {
+                leaves[k] = Signal::new(l, false);
+            }
+            let (freed_ands, freed_total) = frozen_mffc_with(xag, root, cut.leaves(), &mut mffc);
+            let (added_ands, added_total) = estimate_new_gates(
+                xag,
+                &candidate,
+                &leaves[..cut.size()],
+                &mffc.doomed,
+                &mut outs,
+            );
             let gain = match objective {
                 Objective::MultiplicativeComplexity => freed_ands as i64 - added_ands as i64,
                 Objective::Size => freed_total as i64 - added_total as i64,
@@ -289,7 +327,7 @@ fn propose_shard(
                     gain,
                     Proposal {
                         root,
-                        pos: pos[&root],
+                        pos: pos[root as usize],
                         tt,
                         frag: candidate,
                         leaves: cut.leaves().to_vec(),
@@ -316,6 +354,7 @@ fn propose_shard(
 fn commit_proposals(xag: &mut Xag, mut proposals: Vec<Proposal>, objective: Objective) -> usize {
     proposals.sort_by_key(|p| p.pos);
     let mut applied = 0usize;
+    let mut cone = ConeScratch::new();
     for p in proposals {
         if xag.is_dead(p.root) || !xag.is_gate(p.root) {
             continue;
@@ -325,7 +364,7 @@ fn commit_proposals(xag: &mut Xag, mut proposals: Vec<Proposal>, objective: Obje
         }
         // The cut must still compute the function the fragment implements;
         // earlier commits may have rewired the cone.
-        if xag.cone_tt(p.root, &p.leaves) != Some(p.tt) {
+        if xag.cone_tt_with(p.root, &p.leaves, &mut cone) != Some(p.tt) {
             continue;
         }
         let leaf_signals: Vec<Signal> = p.leaves.iter().map(|&l| Signal::new(l, false)).collect();
@@ -365,12 +404,14 @@ pub(crate) fn parallel_rewrite_round(
     pass_name: &str,
 ) -> PassStats {
     let start = Instant::now();
-    let ands_before = xag.num_ands();
-    let xors_before = xag.num_xors();
-
-    let sets = enumerate_cuts(xag, cut_params);
     let order = xag.live_gates();
-    let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let (ands_before, xors_before) = crate::pass::count_gates(xag, &order);
+
+    let sets = enumerate_cuts_for(xag, &order, cut_params);
+    let mut pos: Vec<usize> = vec![0; xag.capacity()];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n as usize] = i;
+    }
 
     let threads = threads.max(1);
     let num_shards = if threads == 1 {
@@ -455,6 +496,7 @@ pub(crate) fn parallel_rewrite_round(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xag_cuts::enumerate_cuts;
     use xag_network::equiv_exhaustive;
 
     fn textbook_full_adder() -> Xag {

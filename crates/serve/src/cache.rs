@@ -13,9 +13,8 @@
 //! racer computes; the rest wait on the commit) and reports the waiters
 //! as hits via [`SemanticCache::note_coalesced_hit`].
 
-use std::collections::HashMap;
-
 pub use xag_mc::canon::{canonical_form, fingerprint, job_key};
+use xag_tt::hash::FxHashMap;
 
 /// One cached optimization result: both export formats plus the summary
 /// the original computation reported.
@@ -55,7 +54,7 @@ struct Slot {
 /// A bounded LRU map from job keys to results, with hit/miss/eviction
 /// counters. Not thread-safe by itself — the server wraps it in a mutex.
 pub struct SemanticCache {
-    map: HashMap<Vec<u8>, Slot>,
+    map: FxHashMap<Vec<u8>, Slot>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -67,7 +66,7 @@ impl SemanticCache {
     /// Creates a cache bounded at `capacity` entries (min 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             capacity: capacity.max(1),
             tick: 0,
             hits: 0,

@@ -35,10 +35,9 @@
 //! assert_eq!(frag.eval_tt().bits(), 0xe8);
 //! ```
 
-use std::collections::HashMap;
-
 use xag_affine::AffineClassifier;
 use xag_network::XagFragment;
+use xag_tt::hash::FxHashMap;
 use xag_tt::{DynTt, Tt};
 
 mod davio;
@@ -74,7 +73,7 @@ impl Default for SynthConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Synthesizer {
     config: SynthConfig,
-    cache: HashMap<Tt, XagFragment>,
+    cache: FxHashMap<Tt, XagFragment>,
     classifier: AffineClassifier,
 }
 

@@ -1,0 +1,155 @@
+//! A fast, non-cryptographic hasher for interior maps.
+//!
+//! The rewrite hot path hashes millions of tiny keys — 8-byte strash keys,
+//! `u64` truth tables, dense `u32` node ids. The standard library's default
+//! SipHash-1-3 is keyed and HashDoS-resistant, but on 8–16-byte keys the
+//! per-hash setup dominates and the resistance buys nothing: every map it
+//! feeds is interior to the optimizer, keyed by data we generate ourselves
+//! (structural hashes, canonical truth tables), never by attacker-chosen
+//! input. [`FxHasher`] is the rustc-style multiply-rotate hash — one rotate,
+//! one xor, one multiply per word — which is the conventional replacement for
+//! exactly this situation.
+//!
+//! # Examples
+//!
+//! ```
+//! use xag_tt::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(0xe8, "maj3");
+//! assert_eq!(m.get(&0xe8), Some(&"maj3"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Builder producing default-initialized [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Multiplicative constant: `2^64 / φ`, the classic Fibonacci-hashing seed.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style FxHash state.
+///
+/// Each ingested word updates the state as
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`. This is not collision- or
+/// DoS-resistant; use it only for maps whose keys the program itself
+/// produces.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Dense node ids are the common key shape; neighbours must not
+        // collide wholesale.
+        let hashes: Vec<u64> = (0u32..1000).map(|i| hash_of(&i)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_writes_cover_remainder() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(full, h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+            s.insert(i);
+        }
+        assert_eq!(m.len(), 100);
+        assert!((0..100).all(|i| m[&i] == i * 2 && s.contains(&i)));
+    }
+}

@@ -26,10 +26,12 @@
 
 mod affine_op;
 mod dyn_tt;
+pub mod hash;
 mod static_tt;
 
 pub use affine_op::AffineOp;
 pub use dyn_tt::DynTt;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use static_tt::{Tt, MAX_VARS};
 
 /// Error returned when constructing a [`Tt`] with more than [`MAX_VARS`]

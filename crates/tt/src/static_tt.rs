@@ -416,6 +416,45 @@ impl Tt {
         Some((mask, constant))
     }
 
+    /// Re-expresses the function over a wider variable set.
+    ///
+    /// `positions` gives, for each current variable `k` (in order), its index
+    /// in the new variable set; it must be strictly increasing with entries
+    /// below `vars`. Variables of the result not named in `positions` are
+    /// don't-cares. This is the lifting step of the one-sweep cut-function
+    /// computation: a fanin cut's table over its own leaves becomes a table
+    /// over the merged cut's leaves.
+    ///
+    /// ```
+    /// use xag_tt::Tt;
+    /// // x0 & x1 lifted onto a 4-var set as x1 & x3.
+    /// let f = Tt::projection(0, 2) & Tt::projection(1, 2);
+    /// let g = f.expand(&[1, 3], 4);
+    /// assert_eq!(g, Tt::projection(1, 4) & Tt::projection(3, 4));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != self.vars()`, `vars > 6`, or `positions`
+    /// is not strictly increasing within range.
+    pub fn expand(self, positions: &[usize], vars: usize) -> Self {
+        assert!(vars <= MAX_VARS, "too many variables");
+        assert_eq!(positions.len(), self.vars(), "one position per variable");
+        let mut bits = self.bits;
+        let mut cur = self.vars();
+        let mut k = 0usize;
+        for j in 0..vars {
+            if k < positions.len() && positions[k] == j {
+                k += 1;
+            } else {
+                bits = insert_dummy_var(bits, cur, j);
+                cur += 1;
+            }
+        }
+        assert_eq!(k, positions.len(), "positions not increasing or in range");
+        Self::from_bits(bits, vars)
+    }
+
     /// Rademacher–Walsh spectrum: `S_w = Σ_m (-1)^{f(m) ⊕ w·m}`.
     ///
     /// The returned vector has `2^vars` entries; `S_0 = 2^n - 2·weight(f)`.
@@ -440,6 +479,27 @@ impl Tt {
         }
         s
     }
+}
+
+/// Inserts a don't-care variable at position `j` of a `vars`-variable table.
+///
+/// Every block of `2^j` consecutive minterms is duplicated, so the result has
+/// `vars + 1` variables and ignores the new one. Requires `vars < 6`.
+fn insert_dummy_var(bits: u64, vars: usize, j: usize) -> u64 {
+    debug_assert!(vars < MAX_VARS && j <= vars);
+    let blk = 1usize << j;
+    let mask = if blk >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << blk) - 1
+    };
+    let mut out = 0u64;
+    for b in 0..(1usize << (vars - j)) {
+        let chunk = (bits >> (b * blk)) & mask;
+        out |= chunk << (2 * b * blk);
+        out |= chunk << ((2 * b + 1) * blk);
+    }
+    out
 }
 
 impl core::ops::Not for Tt {
@@ -634,6 +694,47 @@ mod tests {
         assert_eq!(map, vec![1, 3]);
         assert_eq!(g.vars(), 2);
         assert_eq!(g.bits(), 0x8);
+    }
+
+    #[test]
+    fn expand_matches_semantics() {
+        // Exhaustive over small shapes: expand then evaluate by index map.
+        for bits in [0x8u64, 0x6, 0xe8, 0x96] {
+            for n in 2..=3usize {
+                let f = Tt::from_bits(bits, n);
+                for vars in n..=6 {
+                    // All strictly increasing position vectors of length n.
+                    let mut stack = vec![(Vec::new(), 0usize)];
+                    while let Some((prefix, start)) = stack.pop() {
+                        if prefix.len() == n {
+                            let g = f.expand(&prefix, vars);
+                            for m in 0..(1u64 << vars) {
+                                let mut sub = 0u64;
+                                for (k, &p) in prefix.iter().enumerate() {
+                                    sub |= ((m >> p) & 1) << k;
+                                }
+                                assert_eq!(g.eval(m), f.eval(sub));
+                            }
+                            continue;
+                        }
+                        for p in start..vars {
+                            let mut next = prefix.clone();
+                            next.push(p);
+                            stack.push((next, p + 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_identity_and_extend() {
+        let f = Tt::from_bits(0xe8, 3);
+        assert_eq!(f.expand(&[0, 1, 2], 3), f);
+        assert_eq!(f.expand(&[0, 1, 2], 5), f.extend_to(5));
+        let g = Tt::from_bits(0xdead_beef_1337_c0de, 6);
+        assert_eq!(g.expand(&[0, 1, 2, 3, 4, 5], 6), g);
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub use equiv::{
 };
 pub use fragment::{FragRef, FragmentGate, XagFragment};
 pub use fuzz::{random_xag, FuzzConfig};
-pub use network::{NodeId, NodeKind, Xag};
+pub use network::{ConeScratch, NodeId, NodeKind, TopoScratch, Xag};
 pub use signal::Signal;
 pub use verilog::{read_verilog, write_verilog, ParseVerilogError};

@@ -1,5 +1,4 @@
-use std::collections::HashMap;
-
+use xag_tt::hash::FxHashMap;
 use xag_tt::Tt;
 
 use crate::signal::Signal;
@@ -81,6 +80,72 @@ fn normalize_xor(a: Signal, b: Signal) -> Norm {
     }
 }
 
+/// Reusable state for [`Xag::live_gates_into`].
+///
+/// Holds the DFS colouring and stack so repeated topological-order requests
+/// (one per rewrite round, window build, canonicalization, …) reuse the same
+/// buffers instead of re-allocating them.
+#[derive(Debug, Default, Clone)]
+pub struct TopoScratch {
+    state: Vec<u8>, // 0 new, 1 open, 2 done
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl TopoScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable memo for [`Xag::cone_tt_with`].
+///
+/// A dense epoch-stamped table: entry `n` is valid only if its stamp equals
+/// the current epoch, so starting a new cone evaluation is O(1) — no clearing,
+/// no hashing, no allocation once the buffers have grown to network size.
+#[derive(Debug, Default, Clone)]
+pub struct ConeScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    tt: Vec<Tt>,
+    stack: Vec<NodeId>,
+}
+
+impl ConeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, cap: usize) {
+        if self.stamp.len() < cap {
+            self.stamp.resize(cap, 0);
+            self.tt.resize(cap, Tt::zero(1));
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: reset so stale entries cannot alias.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, n: NodeId) -> Option<Tt> {
+        if self.stamp[n as usize] == self.epoch {
+            Some(self.tt[n as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, n: NodeId, t: Tt) {
+        self.stamp[n as usize] = self.epoch;
+        self.tt[n as usize] = t;
+    }
+}
+
 /// A XOR-AND graph: a structurally hashed logic network of two-input AND and
 /// XOR gates with complemented edges.
 ///
@@ -90,7 +155,7 @@ pub struct Xag {
     nodes: Vec<Node>,
     pis: Vec<NodeId>,
     pos: Vec<Signal>,
-    strash: HashMap<StrashKey, NodeId>,
+    strash: FxHashMap<StrashKey, NodeId>,
     nref: Vec<u32>,
     fanouts: Vec<Vec<NodeId>>,
     dead: Vec<bool>,
@@ -114,7 +179,7 @@ impl Xag {
             }],
             pis: Vec::new(),
             pos: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
             nref: vec![0],
             fanouts: vec![Vec::new()],
             dead: vec![false],
@@ -544,14 +609,26 @@ impl Xag {
 
     /// Gate nodes reachable from the primary outputs, in topological order
     /// (fanins before fanouts).
+    ///
+    /// Allocates fresh buffers on every call; hot paths should hold a
+    /// [`TopoScratch`] and an order `Vec` and use [`Xag::live_gates_into`].
     pub fn live_gates(&self) -> Vec<NodeId> {
-        let mut state = vec![0u8; self.nodes.len()]; // 0 new, 1 open, 2 done
+        let mut scratch = TopoScratch::new();
         let mut order = Vec::new();
-        let mut stack: Vec<(NodeId, bool)> = self
-            .pos
-            .iter()
-            .map(|s| (self.resolve(*s).node(), false))
-            .collect();
+        self.live_gates_into(&mut scratch, &mut order);
+        order
+    }
+
+    /// Collects the live gates in topological order into `order`, reusing the
+    /// buffers of `scratch` (and of `order`, which is cleared first).
+    pub fn live_gates_into(&self, scratch: &mut TopoScratch, order: &mut Vec<NodeId>) {
+        order.clear();
+        let state = &mut scratch.state;
+        state.clear();
+        state.resize(self.nodes.len(), 0u8);
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.extend(self.pos.iter().map(|s| (self.resolve(*s).node(), false)));
         while let Some((n, expanded)) = stack.pop() {
             if state[n as usize] == 2 {
                 continue;
@@ -578,7 +655,6 @@ impl Xag {
                 }
             }
         }
-        order
     }
 
     /// Number of AND gates reachable from the outputs (the circuit's
@@ -675,38 +751,72 @@ impl Xag {
     ///
     /// Returns `None` if the cone reaches a primary input or has more than
     /// six leaves — i.e. if `leaves` is not a valid cut of `root`.
+    ///
+    /// Allocates a fresh memo on every call; hot paths should hold a
+    /// [`ConeScratch`] and use [`Xag::cone_tt_with`].
     pub fn cone_tt(&self, root: NodeId, leaves: &[NodeId]) -> Option<Tt> {
+        self.cone_tt_with(root, leaves, &mut ConeScratch::new())
+    }
+
+    /// [`Xag::cone_tt`] with a caller-provided memo, allocation-free once the
+    /// scratch has grown to network size.
+    pub fn cone_tt_with(
+        &self,
+        root: NodeId,
+        leaves: &[NodeId],
+        scratch: &mut ConeScratch,
+    ) -> Option<Tt> {
         if leaves.len() > 6 {
             return None;
         }
-        let nvars = leaves.len();
-        let mut memo: HashMap<NodeId, Tt> = HashMap::new();
+        let nvars = leaves.len().max(1);
+        scratch.begin(self.nodes.len());
         for (i, &l) in leaves.iter().enumerate() {
-            memo.insert(l, Tt::projection(i, nvars.max(1)));
+            scratch.set(l, Tt::projection(i, nvars));
         }
-        memo.insert(0, Tt::zero(nvars.max(1)));
-        self.cone_tt_rec(root, &mut memo)
-    }
-
-    fn cone_tt_rec(&self, n: NodeId, memo: &mut HashMap<NodeId, Tt>) -> Option<Tt> {
-        if let Some(&t) = memo.get(&n) {
-            return Some(t);
+        scratch.set(0, Tt::zero(nvars));
+        let mut stack = std::mem::take(&mut scratch.stack);
+        stack.clear();
+        stack.push(root);
+        let mut valid = true;
+        while let Some(&n) = stack.last() {
+            if scratch.get(n).is_some() {
+                stack.pop();
+                continue;
+            }
+            if !self.is_gate(n) {
+                valid = false; // reached a PI that is not a leaf
+                break;
+            }
+            let (f0, f1) = self.fanins(n);
+            match (scratch.get(f0.node()), scratch.get(f1.node())) {
+                (Some(t0), Some(t1)) => {
+                    stack.pop();
+                    let t0 = if f0.is_complement() { !t0 } else { t0 };
+                    let t1 = if f1.is_complement() { !t1 } else { t1 };
+                    let t = match self.nodes[n as usize].kind {
+                        NodeKind::And => t0 & t1,
+                        NodeKind::Xor => t0 ^ t1,
+                        _ => unreachable!(),
+                    };
+                    scratch.set(n, t);
+                }
+                (t0, t1) => {
+                    if t0.is_none() {
+                        stack.push(f0.node());
+                    }
+                    if t1.is_none() {
+                        stack.push(f1.node());
+                    }
+                }
+            }
         }
-        if !self.is_gate(n) {
-            return None; // reached a PI that is not a leaf
+        scratch.stack = stack;
+        if valid {
+            scratch.get(root)
+        } else {
+            None
         }
-        let (f0, f1) = self.fanins(n);
-        let t0 = self.cone_tt_rec(f0.node(), memo)?;
-        let t1 = self.cone_tt_rec(f1.node(), memo)?;
-        let t0 = if f0.is_complement() { !t0 } else { t0 };
-        let t1 = if f1.is_complement() { !t1 } else { t1 };
-        let t = match self.nodes[n as usize].kind {
-            NodeKind::And => t0 & t1,
-            NodeKind::Xor => t0 ^ t1,
-            _ => unreachable!(),
-        };
-        memo.insert(n, t);
-        Some(t)
     }
 
     /// Dereferences the maximum fanout-free cone of `root` bounded by
@@ -750,26 +860,25 @@ impl Xag {
     /// inputs and outputs keep their order.
     pub fn cleanup(&self) -> Xag {
         let mut out = Xag::new();
-        let mut map: HashMap<NodeId, Signal> = HashMap::new();
-        map.insert(0, Signal::CONST0);
+        // Node ids are dense indices, so a flat side table beats a hash map.
+        let mut map: Vec<Signal> = vec![Signal::CONST0; self.nodes.len()];
         for &pi in &self.pis {
-            let s = out.input();
-            map.insert(pi, s);
+            map[pi as usize] = out.input();
         }
         for n in self.live_gates() {
             let (f0, f1) = self.fanins(n);
-            let a = map[&f0.node()] ^ f0.is_complement();
-            let b = map[&f1.node()] ^ f1.is_complement();
+            let a = map[f0.node() as usize] ^ f0.is_complement();
+            let b = map[f1.node() as usize] ^ f1.is_complement();
             let s = match self.nodes[n as usize].kind {
                 NodeKind::And => out.and(a, b),
                 NodeKind::Xor => out.xor(a, b),
                 _ => unreachable!(),
             };
-            map.insert(n, s);
+            map[n as usize] = s;
         }
         for po in &self.pos {
             let po = self.resolve(*po);
-            let s = map[&po.node()] ^ po.is_complement();
+            let s = map[po.node() as usize] ^ po.is_complement();
             out.output(s);
         }
         out
