@@ -103,9 +103,21 @@ pub(crate) fn health_loop(
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
+            let probe_start = std::time::Instant::now();
             if ping_addr(&backend.addr, config.ping_timeout) {
+                // The probe doubles as an RTT sample: last observed
+                // round trip per backend, scraped via `--metrics`.
+                mc_obs::registry()
+                    .gauge(&format!(
+                        "cluster_backend_rtt_us{{backend=\"{}\"}}",
+                        backend.addr
+                    ))
+                    .set(probe_start.elapsed().as_micros() as u64);
                 registry.note_ping_ok(backend.id);
             } else if registry.note_ping_failed(backend.id, config.miss_threshold) {
+                mc_obs::registry()
+                    .counter("cluster_backend_down_total")
+                    .inc();
                 on_down(backend.id);
             }
         }

@@ -47,6 +47,7 @@ use mc_serve::protocol::{
     OptimizeRequest, Request, Response, StatsInfo, StatusInfo, ERR_JOB_DROPPED, ERR_SHUTTING_DOWN,
     MAX_JOB_ROUNDS,
 };
+use mc_serve::TraceEvent;
 use xag_circuits::parse_circuit;
 use xag_mc::canon::{fingerprint, job_key};
 
@@ -360,6 +361,12 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
             Request::Status => Response::Status(aggregate_status(shared)),
             Request::Stats => Response::Stats(aggregate_stats(shared)),
             Request::ClusterStats => Response::ClusterStats(cluster_stats(shared)),
+            Request::Metrics => Response::Metrics {
+                text: cluster_metrics(shared),
+            },
+            Request::TraceDump { trace_id } => Response::TraceDump {
+                events: cluster_trace_dump(shared, trace_id),
+            },
             Request::Shutdown => {
                 shared.begin_shutdown();
                 let _ = send(&mut stream, &Response::ShuttingDown);
@@ -437,12 +444,19 @@ fn forward(shared: &Arc<RouterShared>, choice: &Choice, req: &OptimizeRequest) -
     }
 }
 
-fn route_optimize(shared: &Arc<RouterShared>, req: OptimizeRequest) -> Response {
+fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Error {
             message: "router is shutting down".to_string(),
         };
     }
+    // The trace is born at the cluster edge: assign an ID unless the
+    // client brought one, and forward it in the frame, so router dispatch
+    // and backend queue/pass events line up under one trace.
+    if req.trace_id == 0 {
+        req.trace_id = mc_obs::next_trace_id();
+    }
+    let _trace = mc_obs::trace_scope(req.trace_id);
     // Parse here: a malformed upload is a protocol error at the edge and
     // never consumes a backend dispatch.
     let xag = match parse_circuit(&req.circuit, req.format) {
@@ -480,11 +494,26 @@ fn route_optimize(shared: &Arc<RouterShared>, req: OptimizeRequest) -> Response 
             shared.affinity_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         shared.registry.begin_dispatch(choice.id);
+        let dispatch_start = Instant::now();
+        let mut dispatch_span = mc_obs::span("cluster:dispatch");
+        dispatch_span.detail(format!(
+            "backend={} affine={} attempt={}",
+            choice.addr,
+            choice.affine,
+            excluded.len() + 1
+        ));
         let outcome = forward(shared, &choice, &req);
+        drop(dispatch_span);
+        mc_obs::registry()
+            .histogram("cluster_dispatch_us")
+            .record(dispatch_start.elapsed().as_micros() as u64);
         shared.registry.end_dispatch(choice.id);
         match outcome {
             Forward::Reply(response) => {
                 shared.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                mc_obs::registry()
+                    .counter("cluster_jobs_routed_total")
+                    .inc();
                 return response;
             }
             Forward::Retry => {
@@ -493,6 +522,17 @@ fn route_optimize(shared: &Arc<RouterShared>, req: OptimizeRequest) -> Response 
                 shared.registry.mark_down(choice.id);
                 shared.pool_drop(choice.id);
                 shared.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                let reg = mc_obs::registry();
+                reg.counter("cluster_dispatch_retries_total").inc();
+                reg.counter(&format!(
+                    "cluster_failovers_total{{backend=\"{}\"}}",
+                    choice.addr
+                ))
+                .inc();
+                mc_obs::instant(
+                    "cluster:failover",
+                    format!("backend={} marked down, retrying", choice.addr),
+                );
                 excluded.push(choice.id);
             }
         }
@@ -545,6 +585,9 @@ fn aggregate_status(shared: &Arc<RouterShared>) -> StatusInfo {
         queue_capacity: 0,
         workers: 0,
         busy: 0,
+        // Per-job progress lives on the backends; the router's status
+        // stays heartbeat-only so it never blocks on a poll.
+        running: Vec::new(),
     };
     for b in shared.registry.snapshot() {
         if b.up {
@@ -599,6 +642,68 @@ fn aggregate_stats(shared: &Arc<RouterShared>) -> StatsInfo {
         })
         .collect();
     total
+}
+
+/// Polls every *up* backend with `request` concurrently and returns the
+/// registry rows paired with whatever each backend answered (`None` for
+/// down or unresponsive ones). The generic sibling of [`poll_all_stats`]
+/// for the observability frames.
+fn poll_up_backends(
+    shared: &Arc<RouterShared>,
+    request: &Request,
+) -> Vec<(Backend, Option<Response>)> {
+    let snapshot = shared.registry.snapshot();
+    std::thread::scope(|s| {
+        let polls: Vec<_> = snapshot
+            .iter()
+            .map(|b| {
+                let addr = b.addr.clone();
+                let up = b.up;
+                let timeout = shared.stats_poll_timeout;
+                s.spawn(move || {
+                    if !up {
+                        return None;
+                    }
+                    poll_addr(&addr, request, timeout)
+                })
+            })
+            .collect();
+        snapshot
+            .into_iter()
+            .zip(polls)
+            .map(|(b, poll)| (b, poll.join().expect("metrics poll thread")))
+            .collect()
+    })
+}
+
+/// `metrics` against a router: the router's own registry first, then one
+/// section per backend headed by a comment line keying it — cluster-wide
+/// scrape in one round trip, no backend left unlabeled.
+fn cluster_metrics(shared: &Arc<RouterShared>) -> String {
+    let mut text = String::from("# router\n");
+    text.push_str(&mc_obs::registry().render());
+    for (b, polled) in poll_up_backends(shared, &Request::Metrics) {
+        use core::fmt::Write as _;
+        let _ = writeln!(text, "# backend id={} addr={} up={}", b.id, b.addr, b.up);
+        if let Some(Response::Metrics { text: section }) = polled {
+            text.push_str(&section);
+        }
+    }
+    text
+}
+
+/// `trace-dump` against a router: the router's own events merged with
+/// every live backend's onto one wall-clock timeline (all tiers stamp
+/// microseconds since the epoch, so a plain sort aligns them).
+fn cluster_trace_dump(shared: &Arc<RouterShared>, trace_id: Option<u64>) -> Vec<TraceEvent> {
+    let mut events = mc_obs::trace_dump(trace_id);
+    for (_, polled) in poll_up_backends(shared, &Request::TraceDump { trace_id }) {
+        if let Some(Response::TraceDump { events: more }) = polled {
+            events.extend(more);
+        }
+    }
+    events.sort_by_key(|e| (e.start_us, e.dur_us));
+    events
 }
 
 fn cluster_stats(shared: &Arc<RouterShared>) -> ClusterStatsInfo {

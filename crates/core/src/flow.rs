@@ -725,7 +725,9 @@ fn run_unit(
                 return;
             }
             let pass = atom_pass(atom).expect("atoms lower to passes");
-            executed.push(pass.run_parallel(xag, ctx, threads));
+            let stats = pass.run_parallel(xag, ctx, threads);
+            crate::observe::pass_boundary(&stats);
+            executed.push(stats);
         }
     }
 }

@@ -104,6 +104,7 @@ mod context;
 mod cost;
 pub mod flow;
 mod job;
+mod observe;
 mod pass;
 mod pipeline;
 pub mod shard;

@@ -187,7 +187,15 @@ impl Pipeline {
 
     /// Runs every pass exactly once, in order.
     pub fn run_once(&self, xag: &mut Xag, ctx: &mut OptContext) -> PipelineStats {
-        let passes = self.passes.iter().map(|pass| pass.run(xag, ctx)).collect();
+        let passes = self
+            .passes
+            .iter()
+            .map(|pass| {
+                let stats = pass.run(xag, ctx);
+                crate::observe::pass_boundary(&stats);
+                stats
+            })
+            .collect();
         PipelineStats {
             passes,
             converged: false,
@@ -244,6 +252,7 @@ impl Pipeline {
                 Some(t) => pass.run_parallel(xag, ctx, t),
                 None => pass.run(xag, ctx),
             };
+            crate::observe::pass_boundary(&stats);
             let improved = stats.improved(self.metric);
             executed.push(stats);
             if improved {
@@ -359,6 +368,89 @@ impl core::fmt::Display for PipelineStats {
             self.total_time().as_secs_f64(),
             if self.converged { "" } else { " (round limit)" }
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass_stats(name: &str, before: usize, after: usize) -> PassStats {
+        PassStats {
+            pass: name.to_string(),
+            ands_before: before,
+            xors_before: 2,
+            ands_after: after,
+            xors_after: 2,
+            rewrites_applied: 1,
+            cuts_considered: 8,
+            elapsed: Duration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_stats_aggregate_to_zero() {
+        let s = PipelineStats {
+            passes: Vec::new(),
+            converged: false,
+        };
+        assert_eq!(s.num_rounds(), 0);
+        assert_eq!(s.ands_before(), 0);
+        assert_eq!(s.ands_after(), 0);
+        assert_eq!(s.total_time(), Duration::ZERO);
+        assert!((s.improvement_pct()).abs() < 1e-9);
+        assert!(s.per_pass().is_empty());
+        let rw = s.into_rewrite_stats();
+        assert_eq!(rw.num_rounds(), 0);
+        assert!(!rw.converged);
+    }
+
+    #[test]
+    fn per_pass_groups_by_name_in_first_execution_order() {
+        let s = PipelineStats {
+            passes: vec![
+                pass_stats("mc", 10, 8),
+                pass_stats("xor", 8, 8),
+                pass_stats("mc", 8, 7),
+            ],
+            converged: true,
+        };
+        let summary = s.per_pass();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].name, "mc");
+        assert_eq!(summary[0].runs, 2);
+        assert_eq!(summary[0].ands_saved, 3);
+        assert_eq!(summary[0].rewrites_applied, 2);
+        assert_eq!(summary[0].cuts_considered, 16);
+        assert_eq!(summary[1].name, "xor");
+        assert_eq!(summary[1].runs, 1);
+        assert_eq!(summary[1].ands_saved, 0);
+    }
+
+    #[test]
+    fn per_pass_tracks_negative_savings() {
+        // A Size-objective pass may add ANDs; the summary must go
+        // negative, not saturate.
+        let s = PipelineStats {
+            passes: vec![pass_stats("size", 5, 9)],
+            converged: true,
+        };
+        assert_eq!(s.per_pass()[0].ands_saved, -4);
+        assert!(s.improvement_pct() < 0.0);
+    }
+
+    #[test]
+    fn into_rewrite_stats_preserves_rounds_and_convergence() {
+        let s = PipelineStats {
+            passes: vec![pass_stats("mc", 10, 8), pass_stats("mc", 8, 8)],
+            converged: true,
+        };
+        let rw = s.clone().into_rewrite_stats();
+        assert_eq!(rw.num_rounds(), 2);
+        assert!(rw.converged);
+        assert_eq!(rw.ands_before(), s.ands_before());
+        assert_eq!(rw.ands_after(), s.ands_after());
+        assert_eq!(rw.total_time(), s.total_time());
     }
 }
 

@@ -420,7 +420,12 @@ pub(crate) fn parallel_rewrite_round(
         threads * SHARDS_PER_THREAD
     };
     let shards = partition_windows(xag, &order, &sets, num_shards);
+    mc_obs::registry()
+        .counter("mc_shard_windows_total")
+        .add(shards.len() as u64);
 
+    let propose_start = Instant::now();
+    let mut propose_span = mc_obs::span("shard:propose");
     let mut proposals: Vec<Proposal> = Vec::new();
     let mut considered = 0usize;
     if threads == 1 || shards.len() <= 1 {
@@ -436,12 +441,16 @@ pub(crate) fn parallel_rewrite_round(
         Rng::seed_from_u64(seed).shuffle(&mut claim);
         let next = AtomicUsize::new(0);
         let frozen: &Xag = xag;
+        // Trace IDs live in a thread-local; carry the round's ID into the
+        // scoped workers so their propose spans join the job's trace.
+        let trace_id = mc_obs::current_trace_id();
         let (all, forks) = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads.min(shards.len()))
                 .map(|_| {
                     let mut wctx = ctx.fork();
                     let (claim, next, shards, sets, pos) = (&claim, &next, &shards, &sets, &pos);
                     s.spawn(move || {
+                        let _trace = mc_obs::trace_scope(trace_id);
                         let mut mine: Vec<(usize, Vec<Proposal>, usize)> = Vec::new();
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
@@ -479,7 +488,31 @@ pub(crate) fn parallel_rewrite_round(
         }
     }
 
+    propose_span.detail(format!(
+        "windows={} proposals={} considered={considered}",
+        shards.len(),
+        proposals.len()
+    ));
+    drop(propose_span);
+    mc_obs::registry()
+        .histogram("mc_shard_propose_us")
+        .record(propose_start.elapsed().as_micros() as u64);
+
+    let commit_start = Instant::now();
+    let num_proposals = proposals.len();
     let applied = commit_proposals(xag, proposals, objective);
+    let reg = mc_obs::registry();
+    reg.histogram("mc_shard_commit_us")
+        .record(commit_start.elapsed().as_micros() as u64);
+    reg.counter("mc_shard_proposals_total")
+        .add(num_proposals as u64);
+    reg.counter("mc_shard_commits_total").add(applied as u64);
+    mc_obs::record(
+        "shard:commit",
+        mc_obs::epoch_us().saturating_sub(commit_start.elapsed().as_micros() as u64),
+        commit_start.elapsed().as_micros() as u64,
+        format!("proposals={num_proposals} applied={applied}"),
+    );
 
     PassStats {
         pass: pass_name.to_string(),

@@ -149,6 +149,36 @@ mod tests {
     }
 
     #[test]
+    fn empty_stats_are_all_zero() {
+        // A run with no rounds (e.g. a zero-round budget) must aggregate
+        // to zeros, not panic on first()/last().
+        let s = RewriteStats {
+            rounds: Vec::new(),
+            converged: true,
+        };
+        assert_eq!(s.num_rounds(), 0);
+        assert_eq!(s.ands_before(), 0);
+        assert_eq!(s.ands_after(), 0);
+        assert_eq!(s.total_time(), Duration::ZERO);
+        assert!((s.improvement_pct()).abs() < 1e-9);
+        // And an AND-free round (pure linear layer) divides by zero ANDs.
+        assert!((round(0, 0).improvement_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_round_aggregation_uses_that_round_twice() {
+        let s = RewriteStats {
+            rounds: vec![round(7, 7)],
+            converged: true,
+        };
+        // first() and last() are the same round: before/after both read it.
+        assert_eq!(s.ands_before(), 7);
+        assert_eq!(s.ands_after(), 7);
+        assert!((s.improvement_pct()).abs() < 1e-9);
+        assert_eq!(s.total_time(), Duration::from_millis(5));
+    }
+
+    #[test]
     fn display_is_informative() {
         let s = RewriteStats {
             rounds: vec![round(10, 5)],

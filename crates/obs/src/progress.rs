@@ -1,0 +1,141 @@
+//! The job progress board: where every running job currently is.
+//!
+//! The serve worker opens a [`job_scope`] before running a job; the
+//! pipeline calls [`update_current`] at each pass boundary. A `Status`
+//! request snapshots the board, so a client can see "job 12, pass mc,
+//! round 3" mid-run instead of a bare busy count. The board holds only
+//! *running* jobs — the guard removes the entry on drop, so a crashed or
+//! finished job never lingers.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A running job's latest known position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Trace ID the job runs under (0 = untraced).
+    pub trace_id: u64,
+    /// Normalized flow text, e.g. `mc(cut=4);xor`.
+    pub flow: String,
+    /// Pass currently executing (empty until the first boundary).
+    pub pass: String,
+    /// Pass boundaries crossed so far.
+    pub round: usize,
+    /// Milliseconds since the job started.
+    pub elapsed_ms: u64,
+}
+
+struct BoardEntry {
+    progress: JobProgress,
+    started: Instant,
+}
+
+fn board() -> &'static Mutex<HashMap<u64, BoardEntry>> {
+    static BOARD: OnceLock<Mutex<HashMap<u64, BoardEntry>>> = OnceLock::new();
+    BOARD.get_or_init(Mutex::default)
+}
+
+thread_local! {
+    static CURRENT_JOB: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Removes the job from the board and clears the thread-local job id
+/// when dropped.
+pub struct JobScope {
+    job_id: u64,
+    prev: u64,
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        CURRENT_JOB.with(|c| c.set(self.prev));
+        board()
+            .lock()
+            .expect("progress board poisoned")
+            .remove(&self.job_id);
+    }
+}
+
+/// Registers a job as running on this thread. Pass boundaries reached
+/// while the guard lives update this job's entry.
+pub fn job_scope(job_id: u64, trace_id: u64, flow: String) -> JobScope {
+    let prev = CURRENT_JOB.with(|c| c.replace(job_id));
+    board().lock().expect("progress board poisoned").insert(
+        job_id,
+        BoardEntry {
+            progress: JobProgress {
+                job_id,
+                trace_id,
+                flow,
+                pass: String::new(),
+                round: 0,
+                elapsed_ms: 0,
+            },
+            started: Instant::now(),
+        },
+    );
+    JobScope { job_id, prev }
+}
+
+/// Advances the current thread's job to `pass`, bumping its boundary
+/// count. A no-op outside any [`job_scope`] — the pipeline can call this
+/// unconditionally.
+pub fn update_current(pass: &str) {
+    let job_id = CURRENT_JOB.with(|c| c.get());
+    if job_id == 0 {
+        return;
+    }
+    let mut board = board().lock().expect("progress board poisoned");
+    if let Some(entry) = board.get_mut(&job_id) {
+        entry.progress.pass = pass.to_string();
+        entry.progress.round += 1;
+        entry.progress.elapsed_ms = entry.started.elapsed().as_millis() as u64;
+    }
+}
+
+/// Every running job, sorted by job id.
+pub fn snapshot() -> Vec<JobProgress> {
+    let board = board().lock().expect("progress board poisoned");
+    let mut jobs: Vec<JobProgress> = board.values().map(|e| e.progress.clone()).collect();
+    jobs.sort_by_key(|j| j.job_id);
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_registers_updates_and_clears() {
+        let job_id = 0xfeed_0001;
+        {
+            let _scope = job_scope(job_id, 42, "mc;xor".to_string());
+            update_current("mc");
+            update_current("xor");
+            let jobs = snapshot();
+            let me = jobs
+                .iter()
+                .find(|j| j.job_id == job_id)
+                .expect("job on board");
+            assert_eq!(me.trace_id, 42);
+            assert_eq!(me.flow, "mc;xor");
+            assert_eq!(me.pass, "xor");
+            assert_eq!(me.round, 2);
+        }
+        assert!(
+            !snapshot().iter().any(|j| j.job_id == job_id),
+            "scope drop removes the entry"
+        );
+    }
+
+    #[test]
+    fn update_without_scope_is_a_no_op() {
+        let before = snapshot().len();
+        update_current("mc");
+        assert_eq!(snapshot().len(), before);
+    }
+}

@@ -6,8 +6,10 @@
 //! mc-client <addr> [CIRCUIT.txt | --bench NAME | --fuzz SEED]
 //!           [--flow SPEC | --flow-file PATH] [--threads N] [--max-rounds N]
 //!           [--format bristol|verilog] [--output bristol|verilog]
-//!           [--out PATH|-] [--retry N]
-//! mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown
+//!           [--out PATH|-] [--retry N] [--trace-id N]
+//! mc-client <addr> --status | --stats | --cluster-stats | --shutdown
+//! mc-client <addr> --ping [--ping-count N]
+//! mc-client <addr> --metrics | --trace-dump [--trace-id N]
 //! mc-client --list-flows
 //! ```
 //!
@@ -34,6 +36,14 @@
 //!
 //! Prints a one-line summary (`cached: true|false` is what scripts grep
 //! for); `--out PATH` saves the optimized netlist, `--out -` prints it.
+//!
+//! Observability: `--metrics` prints the server's metric registry as
+//! Prometheus-style text; `--trace-dump` prints recorded trace events
+//! (optionally filtered with `--trace-id N`). On an optimize, `--trace-id N`
+//! runs the job under that trace ID so a later `--trace-dump --trace-id N`
+//! shows it end to end; without it the server assigns one, reported in
+//! the summary line. `--ping --ping-count N` reports min/p50/p99 RTT
+//! over N samples.
 
 use mc_serve::{Client, OptimizeRequest};
 use xag_circuits::epfl::Scale;
@@ -46,8 +56,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: mc-client <addr> [CIRCUIT | --bench NAME | --fuzz SEED] \
          [--flow SPEC | --flow-file PATH] [--threads N] [--max-rounds N] \
-         [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-] [--retry N]\n\
-         \x20      mc-client <addr> --status | --stats | --cluster-stats | --ping | --shutdown\n\
+         [--format bristol|verilog] [--output bristol|verilog] [--out PATH|-] [--retry N] \
+         [--trace-id N]\n\
+         \x20      mc-client <addr> --status | --stats | --cluster-stats | --shutdown\n\
+         \x20      mc-client <addr> --ping [--ping-count N]\n\
+         \x20      mc-client <addr> --metrics | --trace-dump [--trace-id N]\n\
          \x20      mc-client --list-flows"
     );
     std::process::exit(2);
@@ -106,6 +119,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut action: Option<&str> = None;
     let mut retries = 0usize;
+    let mut trace_id: Option<u64> = None;
+    let mut ping_count = 1usize;
 
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -145,10 +160,14 @@ fn main() {
             }
             "--out" => out = Some(value()),
             "--retry" => retries = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-id" => trace_id = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--ping-count" => ping_count = value().parse().unwrap_or_else(|_| usage()),
             "--status" => action = Some("status"),
             "--stats" => action = Some("stats"),
             "--cluster-stats" => action = Some("cluster-stats"),
             "--ping" => action = Some("ping"),
+            "--metrics" => action = Some("metrics"),
+            "--trace-dump" => action = Some("trace-dump"),
             "--shutdown" => action = Some("shutdown"),
             path if !path.starts_with("--") => {
                 let text = std::fs::read_to_string(path)
@@ -164,8 +183,39 @@ fn main() {
 
     match action {
         Some("ping") => {
-            let rtt = client.ping().unwrap_or_else(|e| fail(e));
-            println!("pong in {} us", rtt.as_micros());
+            if ping_count <= 1 {
+                let rtt = client.ping().unwrap_or_else(|e| fail(e));
+                println!("pong in {} us", rtt.as_micros());
+                return;
+            }
+            let mut samples: Vec<u64> = (0..ping_count)
+                .map(|_| client.ping().unwrap_or_else(|e| fail(e)).as_micros() as u64)
+                .collect();
+            samples.sort_unstable();
+            // Nearest-rank percentiles over the sorted samples.
+            let rank = |q: f64| samples[((q * (samples.len() - 1) as f64).round()) as usize];
+            println!(
+                "{} pings: min {} us, p50 {} us, p99 {} us",
+                samples.len(),
+                samples[0],
+                rank(0.50),
+                rank(0.99),
+            );
+            return;
+        }
+        Some("metrics") => {
+            print!("{}", client.metrics().unwrap_or_else(|e| fail(e)));
+            return;
+        }
+        Some("trace-dump") => {
+            let events = client.trace_dump(trace_id).unwrap_or_else(|e| fail(e));
+            for e in &events {
+                println!(
+                    "{} +{:<10} trace={:016x} {:<22} {}",
+                    e.start_us, e.dur_us, e.trace_id, e.span, e.detail
+                );
+            }
+            eprintln!("{} events", events.len());
             return;
         }
         Some("cluster-stats") => {
@@ -204,6 +254,12 @@ fn main() {
                 "queue: {}/{}  workers: {} ({} busy)",
                 s.queue_depth, s.queue_capacity, s.workers, s.busy
             );
+            for j in &s.running {
+                println!(
+                    "  job {} trace={:016x} flow {} @ pass {} round {} ({} ms)",
+                    j.job_id, j.trace_id, j.flow, j.pass, j.round, j.elapsed_ms
+                );
+            }
             return;
         }
         Some("stats") => {
@@ -241,12 +297,13 @@ fn main() {
             threads,
             max_rounds,
             output,
+            trace_id: trace_id.unwrap_or(0),
         })
         .unwrap_or_else(|e| fail(e));
 
     println!(
         "job {} (cached: {}): AND {} -> {}, XOR {} -> {}, depth {} -> {}, \
-         {} rounds, {} ms{}",
+         {} rounds, {} ms, trace {}{}",
         result.job_id,
         result.cached,
         result.ands_before,
@@ -257,6 +314,7 @@ fn main() {
         result.depth_after,
         result.rounds,
         result.millis,
+        result.trace_id,
         if result.converged {
             ""
         } else {

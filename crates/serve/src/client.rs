@@ -255,6 +255,43 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metric registry as Prometheus-style text.
+    /// From a cluster router this includes one section per healthy
+    /// backend, keyed by backend id and address.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches recorded trace events, optionally filtered to one trace
+    /// ID. From a cluster router this merges the router's own events
+    /// with every healthy backend's, sorted onto one timeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn trace_dump(
+        &mut self,
+        trace_id: Option<u64>,
+    ) -> Result<Vec<mc_obs::TraceEvent>, ClientError> {
+        match self.request(&Request::TraceDump { trace_id })? {
+            Response::TraceDump { events } => Ok(events),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the daemon to shut down; returns once it acknowledged.
     ///
     /// # Errors

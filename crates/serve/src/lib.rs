@@ -74,3 +74,7 @@ pub use protocol::{
 };
 pub use queue::JobQueue;
 pub use server::{ServeConfig, Server, ServerHandle};
+
+// Re-exported so protocol consumers (the router, clients, tests) name
+// the trace/progress wire types without a direct mc-obs dependency.
+pub use mc_obs::{JobProgress, TraceEvent};

@@ -14,6 +14,7 @@
 
 use std::io::{Read, Write};
 
+use mc_obs::{JobProgress, TraceEvent};
 use xag_circuits::CircuitFormat;
 use xag_mc::FlowSpec;
 
@@ -110,7 +111,7 @@ pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, FrameError>
                 return if filled == 0 {
                     Ok(None)
                 } else {
-                    Err(FrameError::Truncated)
+                    Err(frame_warn(FrameError::Truncated))
                 };
             }
             Ok(n) => filled += n,
@@ -120,14 +121,30 @@ pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, FrameError>
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized(len));
+        return Err(frame_warn(FrameError::Oversized(len)));
     }
     let mut payload = vec![0u8; len];
     match reader.read_exact(&mut payload) {
         Ok(()) => Ok(Some(payload)),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(frame_warn(FrameError::Truncated))
+        }
         Err(e) => Err(FrameError::Io(e)),
     }
+}
+
+/// Counts a frame-level protocol violation and records a structured warn
+/// event, so a flaky or hostile peer shows up in `Metrics`/`TraceDump`
+/// instead of only in a per-connection error string.
+fn frame_warn(err: FrameError) -> FrameError {
+    let name = match &err {
+        FrameError::Truncated => "frame_truncated",
+        FrameError::Oversized(_) => "frame_oversized",
+        FrameError::Io(_) => "frame_io_error",
+    };
+    mc_obs::registry().counter(&format!("{name}_total")).inc();
+    mc_obs::instant(&format!("warn:{name}"), err.to_string());
+    err
 }
 
 /// An `optimize` request: a circuit and what to do with it.
@@ -150,6 +167,11 @@ pub struct OptimizeRequest {
     pub max_rounds: usize,
     /// Format of the returned netlist.
     pub output: CircuitFormat,
+    /// Trace ID to run the job under (0 = none; the server then assigns
+    /// its own). The cluster router sets this when forwarding so router
+    /// and backend events share one timeline; optional on the wire, so
+    /// pre-tracing clients keep working.
+    pub trace_id: u64,
 }
 
 impl Default for OptimizeRequest {
@@ -161,6 +183,7 @@ impl Default for OptimizeRequest {
             threads: 1,
             max_rounds: 100,
             output: CircuitFormat::Bristol,
+            trace_id: 0,
         }
     }
 }
@@ -212,6 +235,18 @@ pub enum Request {
     /// [`Response::ClusterStats`]; a plain backend answers with an
     /// error).
     ClusterStats,
+    /// Report the process's metric registry as Prometheus-style text
+    /// (answered with [`Response::Metrics`]). A router appends every
+    /// healthy backend's section, keyed by backend.
+    Metrics,
+    /// Report recorded trace events, optionally filtered to one trace ID
+    /// (answered with [`Response::TraceDump`]). A router merges its own
+    /// events with every healthy backend's onto one timeline.
+    TraceDump {
+        /// Restrict the dump to this trace ID; `None` returns everything
+        /// still in the rings.
+        trace_id: Option<u64>,
+    },
     /// Stop accepting work and shut the daemon down.
     Shutdown,
 }
@@ -247,10 +282,14 @@ pub struct OptimizeResult {
     /// Wall-clock milliseconds the optimization took (for a cache hit:
     /// the time the original computation took, not the hit's ~0).
     pub millis: u64,
+    /// Trace ID the job ran under (0 when tracing was not requested and
+    /// the server predates tracing; cache hits report the ID of the
+    /// request that asked, not the one that computed).
+    pub trace_id: u64,
 }
 
 /// Queue and worker occupancy, for the `status` request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusInfo {
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
@@ -260,6 +299,9 @@ pub struct StatusInfo {
     pub workers: usize,
     /// Workers currently running a job.
     pub busy: usize,
+    /// Where each currently running job is (pass, round, elapsed) — the
+    /// progress-board snapshot, empty on servers that predate it.
+    pub running: Vec<JobProgress>,
 }
 
 /// Per-flow job count and cumulative optimization time.
@@ -392,6 +434,19 @@ pub enum Response {
     },
     /// Answer to [`Request::ClusterStats`].
     ClusterStats(ClusterStatsInfo),
+    /// Answer to [`Request::Metrics`]: the registry rendered as
+    /// Prometheus-style text.
+    Metrics {
+        /// One `name value` line per metric; histograms expand to
+        /// `_count`/`_sum`/`_p50`/`_p90`/`_p99` lines.
+        text: String,
+    },
+    /// Answer to [`Request::TraceDump`]: recorded events, sorted by
+    /// start time.
+    TraceDump {
+        /// The matching events still held in the rings.
+        events: Vec<TraceEvent>,
+    },
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// Any failure the server could map to the request (malformed
@@ -452,6 +507,9 @@ impl Request {
                 if let Some(f) = o.format {
                     members.push(("format".to_string(), Json::from(f.name())));
                 }
+                if o.trace_id != 0 {
+                    members.push(("trace_id".to_string(), Json::from(o.trace_id)));
+                }
                 members.extend([
                     ("flow".to_string(), Json::from(o.flow.to_string())),
                     ("threads".to_string(), Json::from(o.threads)),
@@ -479,6 +537,14 @@ impl Request {
             Request::ClusterStats => {
                 Json::Obj(vec![("type".to_string(), Json::from("cluster_stats"))])
             }
+            Request::Metrics => Json::Obj(vec![("type".to_string(), Json::from("metrics"))]),
+            Request::TraceDump { trace_id } => {
+                let mut members = vec![("type".to_string(), Json::from("trace_dump"))];
+                if let Some(id) = trace_id {
+                    members.push(("trace_id".to_string(), Json::from(*id)));
+                }
+                Json::Obj(members)
+            }
             Request::Shutdown => Json::Obj(vec![("type".to_string(), Json::from("shutdown"))]),
         }
     }
@@ -493,8 +559,14 @@ impl Request {
     /// # Errors
     ///
     /// Returns a human-readable description of what is malformed (sent
-    /// back to the client as a protocol error).
+    /// back to the client as a protocol error). Every rejection is also
+    /// counted in `frame_malformed_total` and recorded as a
+    /// `warn:frame_malformed` trace event.
     pub fn from_payload(payload: &[u8]) -> Result<Request, String> {
+        Self::from_payload_inner(payload).map_err(frame_malformed)
+    }
+
+    fn from_payload_inner(payload: &[u8]) -> Result<Request, String> {
         let text = core::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
         let value = json::parse(text).map_err(|e| e.to_string())?;
         let kind = obj_str(&value, "type")?;
@@ -538,6 +610,7 @@ impl Request {
                     threads: obj_usize(&value, "threads", 1)?,
                     max_rounds: obj_usize(&value, "max_rounds", 100)?,
                     output,
+                    trace_id: obj_u64_or(&value, "trace_id", 0)?,
                 }))
             }
             "status" => Ok(Request::Status),
@@ -554,10 +627,25 @@ impl Request {
                 busy: obj_usize(&value, "busy", 0)?,
             })),
             "cluster_stats" => Ok(Request::ClusterStats),
+            "metrics" => Ok(Request::Metrics),
+            "trace_dump" => Ok(Request::TraceDump {
+                trace_id: match value.get("trace_id") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("non-integer field: trace_id")?),
+                },
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type: {other}")),
         }
     }
+}
+
+/// Counts a structurally invalid request (parsed JSON, unusable content)
+/// alongside the frame-level warns, and records a structured warn event.
+fn frame_malformed(message: String) -> String {
+    mc_obs::registry().counter("frame_malformed_total").inc();
+    mc_obs::instant("warn:frame_malformed", message.clone());
+    message
 }
 
 impl Response {
@@ -578,6 +666,7 @@ impl Response {
                 ("rounds".to_string(), Json::from(r.rounds)),
                 ("converged".to_string(), Json::Bool(r.converged)),
                 ("millis".to_string(), Json::from(r.millis)),
+                ("trace_id".to_string(), Json::from(r.trace_id)),
                 ("netlist".to_string(), Json::from(r.netlist.as_str())),
             ]),
             Response::Status(s) => Json::Obj(vec![
@@ -586,6 +675,24 @@ impl Response {
                 ("queue_capacity".to_string(), Json::from(s.queue_capacity)),
                 ("workers".to_string(), Json::from(s.workers)),
                 ("busy".to_string(), Json::from(s.busy)),
+                (
+                    "running".to_string(),
+                    Json::Arr(
+                        s.running
+                            .iter()
+                            .map(|j| {
+                                Json::Obj(vec![
+                                    ("job_id".to_string(), Json::from(j.job_id)),
+                                    ("trace_id".to_string(), Json::from(j.trace_id)),
+                                    ("flow".to_string(), Json::from(j.flow.as_str())),
+                                    ("pass".to_string(), Json::from(j.pass.as_str())),
+                                    ("round".to_string(), Json::from(j.round)),
+                                    ("elapsed_ms".to_string(), Json::from(j.elapsed_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Stats(s) => Json::Obj(vec![
                 ("type".to_string(), Json::from("stats")),
@@ -652,6 +759,30 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::Metrics { text } => Json::Obj(vec![
+                ("type".to_string(), Json::from("metrics")),
+                ("text".to_string(), Json::from(text.as_str())),
+            ]),
+            Response::TraceDump { events } => Json::Obj(vec![
+                ("type".to_string(), Json::from("trace_dump")),
+                (
+                    "events".to_string(),
+                    Json::Arr(
+                        events
+                            .iter()
+                            .map(|e| {
+                                Json::Obj(vec![
+                                    ("trace_id".to_string(), Json::from(e.trace_id)),
+                                    ("span".to_string(), Json::from(e.span.as_str())),
+                                    ("start_us".to_string(), Json::from(e.start_us)),
+                                    ("dur_us".to_string(), Json::from(e.dur_us)),
+                                    ("detail".to_string(), Json::from(e.detail.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Response::ShuttingDown => {
                 Json::Obj(vec![("type".to_string(), Json::from("shutting_down"))])
             }
@@ -695,14 +826,34 @@ impl Response {
                     rounds: obj_usize(&value, "rounds", 0)?,
                     converged: obj_bool(&value, "converged")?,
                     millis: obj_u64(&value, "millis")?,
+                    trace_id: obj_u64_or(&value, "trace_id", 0)?,
                 }))
             }
-            "status" => Ok(Response::Status(StatusInfo {
-                queue_depth: obj_usize(&value, "queue_depth", 0)?,
-                queue_capacity: obj_usize(&value, "queue_capacity", 0)?,
-                workers: obj_usize(&value, "workers", 0)?,
-                busy: obj_usize(&value, "busy", 0)?,
-            })),
+            "status" => {
+                let running = value
+                    .get("running")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|j| {
+                        Ok(JobProgress {
+                            job_id: obj_u64(j, "job_id")?,
+                            trace_id: obj_u64_or(j, "trace_id", 0)?,
+                            flow: obj_str(j, "flow")?,
+                            pass: obj_str(j, "pass").unwrap_or_default(),
+                            round: obj_usize(j, "round", 0)?,
+                            elapsed_ms: obj_u64_or(j, "elapsed_ms", 0)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Status(StatusInfo {
+                    queue_depth: obj_usize(&value, "queue_depth", 0)?,
+                    queue_capacity: obj_usize(&value, "queue_capacity", 0)?,
+                    workers: obj_usize(&value, "workers", 0)?,
+                    busy: obj_usize(&value, "busy", 0)?,
+                    running,
+                }))
+            }
             "stats" => {
                 let flows = value
                     .get("flows")
@@ -763,6 +914,27 @@ impl Response {
                     affinity_fallbacks: obj_u64_or(&value, "affinity_fallbacks", 0)?,
                     backends,
                 }))
+            }
+            "metrics" => Ok(Response::Metrics {
+                text: obj_str(&value, "text")?,
+            }),
+            "trace_dump" => {
+                let events = value
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|e| {
+                        Ok(TraceEvent {
+                            trace_id: obj_u64_or(e, "trace_id", 0)?,
+                            span: obj_str(e, "span")?,
+                            start_us: obj_u64_or(e, "start_us", 0)?,
+                            dur_us: obj_u64_or(e, "dur_us", 0)?,
+                            detail: obj_str(e, "detail").unwrap_or_default(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::TraceDump { events })
             }
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
@@ -828,6 +1000,7 @@ mod tests {
                 threads: 4,
                 max_rounds: 25,
                 output: CircuitFormat::Verilog,
+                trace_id: 0xABCD,
             }),
             Request::Optimize(OptimizeRequest {
                 circuit: "1 3\n1 2\n1 1\n\n2 1 0 1 2 AND\n".to_string(),
@@ -851,6 +1024,9 @@ mod tests {
                 busy: 1,
             }),
             Request::ClusterStats,
+            Request::Metrics,
+            Request::TraceDump { trace_id: None },
+            Request::TraceDump { trace_id: Some(99) },
             Request::Shutdown,
         ];
         for req in requests {
@@ -876,12 +1052,21 @@ mod tests {
                 rounds: 5,
                 converged: true,
                 millis: 12,
+                trace_id: 0xFEED,
             }),
             Response::Status(StatusInfo {
                 queue_depth: 1,
                 queue_capacity: 64,
                 workers: 4,
                 busy: 2,
+                running: vec![JobProgress {
+                    job_id: 9,
+                    trace_id: 0xFEED,
+                    flow: "mc(cut=4);xor".to_string(),
+                    pass: "mc".to_string(),
+                    round: 3,
+                    elapsed_ms: 250,
+                }],
             }),
             Response::Stats(StatsInfo {
                 uptime_secs: 42,
@@ -920,6 +1105,18 @@ mod tests {
                     cache_misses: 12,
                 }],
             }),
+            Response::Metrics {
+                text: "jobs_total 3\nqueue_wait_us_p99 512\n".to_string(),
+            },
+            Response::TraceDump {
+                events: vec![TraceEvent {
+                    trace_id: 0xFEED,
+                    span: "pass:mc".to_string(),
+                    start_us: 1_700_000_000_000_000,
+                    dur_us: 1500,
+                    detail: "rewrites=2 cuts=64 ands=10->8".to_string(),
+                }],
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "malformed bristol circuit: bad gate line".to_string(),
@@ -947,6 +1144,62 @@ mod tests {
         assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","flow":2}"#).is_err());
         assert!(Request::from_payload(br#"{"type":"optimize","circuit":"x","output":1}"#).is_err());
         assert!(Response::from_payload(br#"{"type":"result"}"#).is_err());
+    }
+
+    /// New fields are optional on the wire: frames from pre-tracing
+    /// peers parse with zero/empty defaults, and a zero trace ID is not
+    /// even emitted.
+    #[test]
+    fn trace_fields_are_backward_compatible() {
+        let req = Request::from_payload(br#"{"type":"optimize","circuit":"x"}"#).unwrap();
+        match &req {
+            Request::Optimize(o) => assert_eq!(o.trace_id, 0),
+            other => panic!("unexpected request: {other:?}"),
+        }
+        assert!(
+            !String::from_utf8(req.to_payload())
+                .unwrap()
+                .contains("trace_id"),
+            "zero trace ID stays off the wire"
+        );
+        let resp = Response::from_payload(
+            br#"{"type":"status","queue_depth":1,"queue_capacity":8,"workers":2,"busy":0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            resp,
+            Response::Status(StatusInfo {
+                queue_depth: 1,
+                queue_capacity: 8,
+                workers: 2,
+                busy: 0,
+                running: Vec::new(),
+            })
+        );
+    }
+
+    /// Frame-level violations are counted, not just stringified. Metric
+    /// counters are process-global and tests run in parallel, so assert
+    /// deltas, never absolute values.
+    #[test]
+    fn frame_warns_are_counted() {
+        let reg = mc_obs::registry();
+        let truncated = reg.counter("frame_truncated_total").get();
+        let oversized = reg.counter("frame_oversized_total").get();
+        let malformed = reg.counter("frame_malformed_total").get();
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let _ = read_frame(&wire[..wire.len() - 2]);
+        assert!(reg.counter("frame_truncated_total").get() > truncated);
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let _ = read_frame(huge.as_slice());
+        assert!(reg.counter("frame_oversized_total").get() > oversized);
+
+        let _ = Request::from_payload(br#"{"type":"fly"}"#);
+        assert!(reg.counter("frame_malformed_total").get() > malformed);
     }
 
     /// The resource guard fires during request parsing — a hostile spec

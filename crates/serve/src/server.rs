@@ -91,6 +91,11 @@ struct Job {
     spec: JobSpec,
     key: Vec<u8>,
     reply: mpsc::Sender<CacheEntry>,
+    /// Trace ID the job runs under (request-supplied or server-assigned).
+    trace_id: u64,
+    /// When the job entered the queue; the worker's pop time minus this
+    /// is the queue-wait latency.
+    enqueued: Instant,
 }
 
 /// Bound on distinct per-flow statistics rows. Rows are keyed by
@@ -165,6 +170,7 @@ impl Shared {
             queue_capacity: self.queue.capacity(),
             workers: self.workers,
             busy: self.busy.load(Ordering::Relaxed),
+            running: mc_obs::progress_snapshot(),
         }
     }
 
@@ -382,6 +388,12 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     message: "not a cluster router (this is an mc-serve backend)".to_string(),
                 }
             }
+            Request::Metrics => Response::Metrics {
+                text: mc_obs::registry().render(),
+            },
+            Request::TraceDump { trace_id } => Response::TraceDump {
+                events: mc_obs::trace_dump(trace_id),
+            },
             Request::Shutdown => {
                 shared.begin_shutdown();
                 let _ = send(&mut stream, &Response::ShuttingDown);
@@ -395,10 +407,16 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn entry_to_result(entry: &CacheEntry, cached: bool, output: CircuitFormat) -> Response {
+fn entry_to_result(
+    entry: &CacheEntry,
+    cached: bool,
+    output: CircuitFormat,
+    trace_id: u64,
+) -> Response {
     Response::Result(OptimizeResult {
         job_id: entry.job_id,
         cached,
+        trace_id,
         netlist: match output {
             CircuitFormat::Bristol => entry.bristol.clone(),
             CircuitFormat::Verilog => entry.verilog.clone(),
@@ -439,6 +457,16 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
     };
     let key = job_key(&xag, &spec.flow, spec.max_rounds);
 
+    // The request's trace ID (a router forwarding a traced job) wins;
+    // otherwise the job gets its own, so every optimize is traceable.
+    let trace_id = if req.trace_id != 0 {
+        req.trace_id
+    } else {
+        mc_obs::next_trace_id()
+    };
+    let _trace = mc_obs::trace_scope(trace_id);
+    let lookup_start = Instant::now();
+
     // Atomic lookup-or-register under the cache lock: a hit answers
     // immediately; a key with an in-flight computation parks a waiter (a
     // coalesced hit, answered at commit); only a genuinely first miss
@@ -466,21 +494,31 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
 
     match plan {
         Plan::Hit(entry) => {
+            // The whole hit path is the locked lookup above — record it,
+            // so "how fast is a warm job really" has an answer.
+            mc_obs::registry()
+                .histogram("serve_cache_hit_us")
+                .record(lookup_start.elapsed().as_micros() as u64);
+            mc_obs::instant("serve:cache_hit", format!("job={}", entry.job_id));
             shared
                 .stats
                 .lock()
                 .expect("stats lock poisoned")
                 .jobs_served += 1;
-            entry_to_result(&entry, true, req.output)
+            entry_to_result(&entry, true, req.output, trace_id)
         }
         Plan::Wait(rx) => match rx.recv() {
             Ok(entry) => {
+                mc_obs::registry()
+                    .histogram("serve_coalesced_wait_us")
+                    .record(lookup_start.elapsed().as_micros() as u64);
+                mc_obs::instant("serve:coalesced_hit", format!("job={}", entry.job_id));
                 shared
                     .stats
                     .lock()
                     .expect("stats lock poisoned")
                     .jobs_served += 1;
-                entry_to_result(&entry, true, req.output)
+                entry_to_result(&entry, true, req.output, trace_id)
             }
             Err(_) => Response::Error {
                 message: ERR_JOB_DROPPED.to_string(),
@@ -495,6 +533,8 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                 spec,
                 key: key.clone(),
                 reply: reply_tx,
+                trace_id,
+                enqueued: Instant::now(),
             };
             // This push blocking on a full queue is the backpressure path.
             if shared.queue.push(job).is_err() {
@@ -517,7 +557,7 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                         .lock()
                         .expect("stats lock poisoned")
                         .jobs_served += 1;
-                    entry_to_result(&entry, false, req.output)
+                    entry_to_result(&entry, false, req.output, trace_id)
                 }
                 Err(_) => Response::Error {
                     message: ERR_JOB_DROPPED.to_string(),
@@ -530,6 +570,21 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.busy.fetch_add(1, Ordering::Relaxed);
+        // The job ran under the submitter's trace from here on: queue
+        // wait, every pass boundary, and the serialize span all join one
+        // timeline, and the progress board answers `Status` mid-run.
+        let _trace = mc_obs::trace_scope(job.trace_id);
+        let _progress = mc_obs::job_scope(job.id, job.trace_id, job.spec.flow.normalized());
+        let wait_us = job.enqueued.elapsed().as_micros() as u64;
+        mc_obs::registry()
+            .histogram("serve_queue_wait_us")
+            .record(wait_us);
+        mc_obs::record(
+            "serve:queue_wait",
+            mc_obs::epoch_us().saturating_sub(wait_us),
+            wait_us,
+            format!("job={}", job.id),
+        );
         let entry = compute(shared, job.id, job.xag, &job.spec);
         // Commit and collect the coalesced waiters atomically, so a
         // request arriving after this lock releases sees the cache entry.
@@ -569,18 +624,35 @@ fn compute(shared: &Arc<Shared>, job_id: u64, mut xag: Xag, spec: &JobSpec) -> C
     // holding any lock; absorb afterwards so every worker benefits from
     // the representatives this job synthesized.
     let mut ctx = shared.ctx.lock().expect("context lock poisoned").fork();
-    let result = run_job(&mut xag, &mut ctx, spec);
+    let run_start = Instant::now();
+    let result = {
+        let mut run_span = mc_obs::span("serve:run");
+        run_span.detail(format!("job={job_id} flow={}", spec.flow.normalized()));
+        run_job(&mut xag, &mut ctx, spec)
+    };
+    mc_obs::registry()
+        .histogram("serve_run_us")
+        .record(run_start.elapsed().as_micros() as u64);
     shared
         .ctx
         .lock()
         .expect("context lock poisoned")
         .absorb(ctx);
 
+    let serialize_start = Instant::now();
+    let serialize_span = mc_obs::span("serve:serialize");
     let clean = xag.cleanup();
     let mut bristol = Vec::new();
     write_bristol(&clean, &mut bristol).expect("in-memory write cannot fail");
     let mut verilog = Vec::new();
     write_verilog(&clean, "optimized", &mut verilog).expect("in-memory write cannot fail");
+    drop(serialize_span);
+    mc_obs::registry()
+        .histogram("serve_serialize_us")
+        .record(serialize_start.elapsed().as_micros() as u64);
+    mc_obs::registry()
+        .counter("serve_jobs_computed_total")
+        .inc();
     CacheEntry {
         job_id,
         bristol: String::from_utf8(bristol).expect("bristol writer emits ASCII"),
