@@ -411,6 +411,55 @@ pub fn run_hotpath(samples: usize, alloc_check: bool) -> Vec<BenchRecord> {
         group.finish();
     }
 
+    // Profiler overhead: one sequential McRewrite round over fuzz_wide
+    // with the phase profiler on vs off. Phases fire at pass, round, and
+    // node granularity — never per cut — so the two runs must be within
+    // noise of each other; the trajectory keeps the off/on ratio (~1.0)
+    // and the gate holds it to the same floor as the other ratio rows. A
+    // profiler change that starts costing real time at pass granularity
+    // collapses the ratio and fails the gate.
+    {
+        use xag_mc::{McRewrite, OptContext, Pass};
+        let w = workloads()
+            .into_iter()
+            .find(|w| w.name == "fuzz_wide")
+            .expect("fuzz_wide workload");
+        let gates = w.xag.live_gates().len();
+        let mut group = BenchGroup::new("prof_overhead");
+        group.sample_size(samples);
+        let pass = McRewrite::new();
+        let mut ctx = OptContext::new();
+        // Warm the classifier cache so neither measurement pays the
+        // cold-start beam search.
+        let _ = pass.run(&mut w.xag.clone(), &mut ctx);
+        mc_obs::prof::set_enabled(true);
+        let t_on = group.bench_function_timed("round_prof_on", || {
+            let mut xag = w.xag.clone();
+            black_box(pass.run(&mut xag, &mut ctx).rewrites_applied)
+        });
+        mc_obs::prof::set_enabled(false);
+        let t_off = group.bench_function_timed("round_prof_off", || {
+            let mut xag = w.xag.clone();
+            black_box(pass.run(&mut xag, &mut ctx).rewrites_applied)
+        });
+        mc_obs::prof::set_enabled(true);
+        mc_obs::prof::reset();
+        group.report_ratio("overhead (off/on)", t_off, t_on);
+        let ratio = if t_on.as_nanos() > 0 {
+            t_off.as_secs_f64() / t_on.as_secs_f64()
+        } else {
+            1.0
+        };
+        record(
+            &mut records,
+            "prof_overhead/fuzz_wide".to_string(),
+            gates,
+            0,
+            ratio,
+        );
+        group.finish();
+    }
+
     // Geometric mean of the per-workload speedups — the headline number
     // of the perf trajectory.
     let speedups: Vec<f64> = records

@@ -6,6 +6,7 @@
 //! mc-cluster [--addr HOST:PORT] [--port-file PATH] [--policy affine|random]
 //!            [--replicas N] [--saturation N] [--retries N]
 //!            [--heartbeat-timeout-ms N] [--health-interval-ms N]
+//!            [--sample-ms N] [--slo SPEC] [--slo-eval-ms N]
 //! ```
 //!
 //! * `--addr` — listen address; port 0 picks an ephemeral port
@@ -22,6 +23,14 @@
 //!   marked down (default 2000).
 //! * `--health-interval-ms` — pause between health-check rounds
 //!   (default 500).
+//! * `--sample-ms` — metrics-history sampling interval of the router's
+//!   own counters (default 1000).
+//! * `--slo` — watchdog thresholds as comma-separated `key=value` pairs
+//!   (`p99_ms=400,hit_rate=0.5,error_rate=0.01`); repeatable, later
+//!   flags merge. Without it no watchdog runs and `cluster_stats`
+//!   reports no health summary.
+//! * `--slo-eval-ms` — pause between SLO evaluation ticks (default
+//!   1000).
 //!
 //! Backends join with `mc-serve --join <this addr>`. The router runs
 //! until a client sends `shutdown` (`mc-client <addr> --shutdown`);
@@ -35,7 +44,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mc-cluster [--addr HOST:PORT] [--port-file PATH] [--policy affine|random] \
          [--replicas N] [--saturation N] [--retries N] [--heartbeat-timeout-ms N] \
-         [--health-interval-ms N]"
+         [--health-interval-ms N] [--sample-ms N] [--slo SPEC] [--slo-eval-ms N]"
     );
     std::process::exit(2);
 }
@@ -68,11 +77,26 @@ fn main() {
                 let ms: u64 = value().parse().unwrap_or_else(|_| usage());
                 config.health_interval = Duration::from_millis(ms.max(1));
             }
+            "--sample-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.sample_interval = Duration::from_millis(ms.max(1));
+            }
+            "--slo" => {
+                if let Err(e) = config.slo.parse_into(&value()) {
+                    eprintln!("mc-cluster: {e}");
+                    usage();
+                }
+            }
+            "--slo-eval-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.slo_eval_interval = Duration::from_millis(ms.max(1));
+            }
             _ => usage(),
         }
     }
 
     let policy = config.policy;
+    let slo = config.slo;
     let handle = match Router::bind(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -85,6 +109,9 @@ fn main() {
         "mc-cluster routing on {addr} (policy {}); join backends with: mc-serve --join {addr}",
         policy.name()
     );
+    if !slo.is_empty() {
+        println!("mc-cluster SLO watchdog armed: {slo:?}");
+    }
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, addr.to_string()) {
             eprintln!("mc-cluster: cannot write port file {path}: {e}");

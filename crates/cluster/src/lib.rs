@@ -79,8 +79,10 @@ pub mod health;
 pub mod registry;
 pub mod ring;
 pub mod router;
+pub mod slo;
 
 pub use health::{ping_addr, HealthConfig};
 pub use registry::{Backend, Choice, Registry};
 pub use ring::{HashRing, DEFAULT_REPLICAS};
 pub use router::{RoutePolicy, Router, RouterConfig, RouterHandle};
+pub use slo::{SloMachine, SloState, SloThresholds};

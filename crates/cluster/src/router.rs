@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mc_obs::{HistoryWindow, PhaseStat};
 use mc_serve::client::Client;
 use mc_serve::protocol::{
     read_frame, write_frame, BackendStats, ClusterStatsInfo, FlowTiming, FrameError,
@@ -54,6 +55,7 @@ use xag_mc::canon::{fingerprint, job_key};
 use crate::health::{health_loop, poll_addr, HealthConfig};
 use crate::registry::{Backend, Choice, Registry};
 use crate::ring::DEFAULT_REPLICAS;
+use crate::slo::{SloMachine, SloState, SloThresholds};
 
 /// How `optimize` jobs are placed onto backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +117,15 @@ pub struct RouterConfig {
     pub retry_limit: usize,
     /// Placement policy.
     pub policy: RoutePolicy,
+    /// Metrics-history sampling interval of the router's own counters.
+    pub sample_interval: Duration,
+    /// Bound of the router's metric-history ring.
+    pub history_capacity: usize,
+    /// SLO thresholds; when empty no watchdog thread runs and
+    /// `cluster_stats` reports no health summary.
+    pub slo: SloThresholds,
+    /// Pause between SLO evaluation ticks.
+    pub slo_eval_interval: Duration,
 }
 
 impl Default for RouterConfig {
@@ -130,6 +141,10 @@ impl Default for RouterConfig {
             evict_after: Duration::from_secs(60),
             retry_limit: 3,
             policy: RoutePolicy::Affine,
+            sample_interval: Duration::from_secs(1),
+            history_capacity: mc_obs::history::DEFAULT_CAPACITY,
+            slo: SloThresholds::default(),
+            slo_eval_interval: Duration::from_secs(1),
         }
     }
 }
@@ -150,6 +165,9 @@ struct RouterShared {
     policy: RoutePolicy,
     retry_limit: usize,
     stats_poll_timeout: Duration,
+    /// The SLO watchdog's current verdict for `cluster_stats`: empty
+    /// when no SLO is configured, else `ok` / `warn: …` / `breach: …`.
+    health: Mutex<String>,
 }
 
 /// Per-backend pooled-connection bound; beyond it connections are
@@ -215,6 +233,11 @@ impl Router {
             policy: config.policy,
             retry_limit: config.retry_limit,
             stats_poll_timeout: Duration::from_secs(2),
+            health: Mutex::new(if config.slo.is_empty() {
+                String::new()
+            } else {
+                SloState::Ok.as_str().to_string()
+            }),
         });
 
         let health = HealthConfig {
@@ -224,7 +247,7 @@ impl Router {
             miss_threshold: config.miss_threshold,
             evict_after_ms: config.evict_after.as_millis() as u64,
         };
-        let mut threads = Vec::with_capacity(2);
+        let mut threads = Vec::with_capacity(4);
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -246,6 +269,28 @@ impl Router {
                     .name("mc-cluster-listener".to_string())
                     .spawn(move || accept_loop(listener, &shared))
                     .expect("spawn listener thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let interval = config.sample_interval;
+            let capacity = config.history_capacity;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-cluster-sampler".to_string())
+                    .spawn(move || sampler_loop(&shared, interval, capacity))
+                    .expect("spawn sampler thread"),
+            );
+        }
+        if !config.slo.is_empty() {
+            let shared = Arc::clone(&shared);
+            let thresholds = config.slo;
+            let interval = config.slo_eval_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-cluster-slo".to_string())
+                    .spawn(move || slo_loop(&shared, &thresholds, interval))
+                    .expect("spawn slo thread"),
             );
         }
 
@@ -364,6 +409,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
             Request::Metrics => Response::Metrics {
                 text: cluster_metrics(shared),
             },
+            Request::MetricsHistory => Response::MetricsHistory {
+                at_ms: mc_obs::epoch_us() / 1000,
+                windows: cluster_history(shared),
+            },
+            Request::ProfDump => Response::ProfDump {
+                phases: cluster_prof(shared),
+            },
             Request::TraceDump { trace_id } => Response::TraceDump {
                 events: cluster_trace_dump(shared, trace_id),
             },
@@ -444,11 +496,17 @@ fn forward(shared: &Arc<RouterShared>, choice: &Choice, req: &OptimizeRequest) -
     }
 }
 
+/// Builds a client-facing error response, counting it in
+/// `cluster_errors_total` so the history windows and the SLO error rate
+/// see every refusal the router produced.
+fn router_error(message: String) -> Response {
+    mc_obs::registry().counter("cluster_errors_total").inc();
+    Response::Error { message }
+}
+
 fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Response::Error {
-            message: "router is shutting down".to_string(),
-        };
+        return router_error("router is shutting down".to_string());
     }
     // The trace is born at the cluster edge: assign an ID unless the
     // client brought one, and forward it in the frame, so router dispatch
@@ -461,11 +519,7 @@ fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Respo
     // never consumes a backend dispatch.
     let xag = match parse_circuit(&req.circuit, req.format) {
         Ok(xag) => xag,
-        Err(e) => {
-            return Response::Error {
-                message: e.to_string(),
-            }
-        }
+        Err(e) => return router_error(e.to_string()),
     };
     // Clamp exactly like the backend will, so both tiers derive the same
     // canonical key bytes. The flow contributes its *normalized* spec
@@ -484,14 +538,18 @@ fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Respo
                 .choose_random(hash, &excluded, shared.draw()),
         };
         let Some(choice) = choice else {
-            return Response::Error {
-                message: "no live backend in the cluster".to_string(),
-            };
+            return router_error("no live backend in the cluster".to_string());
         };
         if choice.affine {
             shared.affinity_hits.fetch_add(1, Ordering::Relaxed);
+            mc_obs::registry()
+                .counter("cluster_affinity_hits_total")
+                .inc();
         } else {
             shared.affinity_fallbacks.fetch_add(1, Ordering::Relaxed);
+            mc_obs::registry()
+                .counter("cluster_affinity_fallbacks_total")
+                .inc();
         }
         shared.registry.begin_dispatch(choice.id);
         let dispatch_start = Instant::now();
@@ -514,6 +572,9 @@ fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Respo
                 mc_obs::registry()
                     .counter("cluster_jobs_routed_total")
                     .inc();
+                if matches!(response, Response::Error { .. }) {
+                    mc_obs::registry().counter("cluster_errors_total").inc();
+                }
                 return response;
             }
             Forward::Retry => {
@@ -537,12 +598,10 @@ fn route_optimize(shared: &Arc<RouterShared>, mut req: OptimizeRequest) -> Respo
             }
         }
     }
-    Response::Error {
-        message: format!(
-            "job failed on {} backend(s); no further retry",
-            excluded.len()
-        ),
-    }
+    router_error(format!(
+        "job failed on {} backend(s); no further retry",
+        excluded.len()
+    ))
 }
 
 /// Polls every *up* backend's `stats` concurrently (a wedged backend
@@ -706,6 +765,156 @@ fn cluster_trace_dump(shared: &Arc<RouterShared>, trace_id: Option<u64>) -> Vec<
     events
 }
 
+/// `metrics-history` against a router: every up backend's windows merged
+/// per window length. The merge is *exact* — windows carry raw counter
+/// deltas and per-bucket histogram deltas, both of which add — so the
+/// cluster window equals what one process observing every backend would
+/// have computed. The router's own windows are deliberately left out:
+/// every routed job is also a served job on some backend, and merging
+/// both tiers would double-count the cluster's throughput.
+fn cluster_history(shared: &Arc<RouterShared>) -> Vec<HistoryWindow> {
+    let mut merged: Vec<HistoryWindow> = mc_obs::WINDOWS_SECS
+        .iter()
+        .map(|&w| HistoryWindow::empty(w))
+        .collect();
+    for (_, polled) in poll_up_backends(shared, &Request::MetricsHistory) {
+        if let Some(Response::MetricsHistory { windows, .. }) = polled {
+            for w in windows {
+                if let Some(slot) = merged.iter_mut().find(|m| m.window_secs == w.window_secs) {
+                    slot.merge(&w);
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// `prof-dump` against a router: the router's own phase profile (usually
+/// empty — the router runs no passes) merged with every up backend's,
+/// summing by path.
+fn cluster_prof(shared: &Arc<RouterShared>) -> Vec<PhaseStat> {
+    let mut by_path: std::collections::BTreeMap<String, PhaseStat> = mc_obs::prof::snapshot()
+        .into_iter()
+        .map(|p| (p.path.clone(), p))
+        .collect();
+    for (_, polled) in poll_up_backends(shared, &Request::ProfDump) {
+        if let Some(Response::ProfDump { phases }) = polled {
+            for p in phases {
+                by_path
+                    .entry(p.path.clone())
+                    .and_modify(|slot| {
+                        slot.count += p.count;
+                        slot.total_us += p.total_us;
+                        slot.self_us += p.self_us;
+                    })
+                    .or_insert(p);
+            }
+        }
+    }
+    by_path.into_values().collect()
+}
+
+/// Sleeps up to `total` in short slices so router threads notice
+/// shutdown within ~50 ms regardless of their configured interval.
+fn sleep_until_shutdown(shared: &Arc<RouterShared>, total: Duration) {
+    let mut remaining = total;
+    while !shared.shutdown.load(Ordering::SeqCst) && !remaining.is_zero() {
+        let slice = remaining.min(Duration::from_millis(50));
+        std::thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+}
+
+/// The router's own history sampler: snapshots the routing counters and
+/// dispatch-latency histogram into the process-global ring every
+/// `interval`, and keeps the cluster occupancy gauges (queue depth and
+/// busy workers summed over up backends, from heartbeats) current. This
+/// local history backs the SLO evaluator; the `metrics-history` frame
+/// serves the backend merge instead (see [`cluster_history`]).
+fn sampler_loop(shared: &Arc<RouterShared>, interval: Duration, capacity: usize) {
+    let reg = mc_obs::registry();
+    mc_obs::history().set_capacity(capacity);
+    let queue_gauge = reg.gauge("cluster_queue_depth");
+    let busy_gauge = reg.gauge("cluster_workers_busy");
+    let source = mc_obs::HistorySource {
+        jobs: reg.counter("cluster_jobs_routed_total"),
+        hits: reg.counter("cluster_affinity_hits_total"),
+        misses: reg.counter("cluster_affinity_fallbacks_total"),
+        retries: reg.counter("cluster_dispatch_retries_total"),
+        errors: reg.counter("cluster_errors_total"),
+        queue_depth: Arc::clone(&queue_gauge),
+        busy: Arc::clone(&busy_gauge),
+        latency: reg.histogram("cluster_dispatch_us"),
+    };
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let (mut queue, mut busy) = (0u64, 0u64);
+        for b in shared.registry.snapshot() {
+            if b.up {
+                queue += b.queue_depth as u64;
+                busy += b.busy as u64;
+            }
+        }
+        queue_gauge.set(queue);
+        busy_gauge.set(busy);
+        mc_obs::history().push(source.sample(mc_obs::epoch_us() / 1000));
+        sleep_until_shutdown(shared, interval);
+    }
+}
+
+/// The SLO watchdog thread: every tick, derives the observed rates from
+/// the 10-second windows — p99 dispatch latency and error rate from the
+/// router's own history (they measure what *clients* experience,
+/// including failover), cache hit-rate from the merged backend windows
+/// (the router has no cache) — and feeds the verdict to the hysteresis
+/// machine. Transitions move the `slo_state` gauge, count in
+/// `slo_transitions_total`, leave an instant trace event, and rewrite
+/// the health summary `cluster_stats` reports.
+fn slo_loop(shared: &Arc<RouterShared>, thresholds: &SloThresholds, interval: Duration) {
+    let reg = mc_obs::registry();
+    let state_gauge = reg.gauge("slo_state");
+    state_gauge.set(SloState::Ok.severity());
+    let mut machine = SloMachine::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let local = mc_obs::history()
+            .standard_windows()
+            .into_iter()
+            .find(|w| w.window_secs == 10)
+            .unwrap_or_else(|| HistoryWindow::empty(10));
+        let p99_us = (local.lat_count > 0).then(|| local.p99_us());
+        let error_rate = (local.jobs + local.errors > 0).then(|| local.error_rate());
+        let hit_rate = if thresholds.hit_rate.is_some() {
+            cluster_history(shared)
+                .into_iter()
+                .find(|w| w.window_secs == 10)
+                .filter(|w| w.hits + w.misses > 0)
+                .map(|w| w.hit_rate())
+        } else {
+            None
+        };
+        let violations = thresholds.violations(p99_us, hit_rate, error_rate);
+        let detail = violations.join(", ");
+        if let Some((from, to)) = machine.tick(!violations.is_empty()) {
+            state_gauge.set(to.severity());
+            reg.counter(&format!(
+                "slo_transitions_total{{state=\"{}\"}}",
+                to.as_str()
+            ))
+            .inc();
+            mc_obs::instant(
+                "slo:transition",
+                format!("{} -> {}: {}", from.as_str(), to.as_str(), detail),
+            );
+        }
+        let summary = match machine.state() {
+            SloState::Ok => SloState::Ok.as_str().to_string(),
+            state if detail.is_empty() => format!("{}: recovering", state.as_str()),
+            state => format!("{}: {detail}", state.as_str()),
+        };
+        *shared.health.lock().expect("health lock poisoned") = summary;
+        sleep_until_shutdown(shared, interval);
+    }
+}
+
 fn cluster_stats(shared: &Arc<RouterShared>) -> ClusterStatsInfo {
     let backends = poll_all_stats(shared)
         .into_iter()
@@ -736,6 +945,7 @@ fn cluster_stats(shared: &Arc<RouterShared>) -> ClusterStatsInfo {
         jobs_retried: shared.jobs_retried.load(Ordering::Relaxed),
         affinity_hits: shared.affinity_hits.load(Ordering::Relaxed),
         affinity_fallbacks: shared.affinity_fallbacks.load(Ordering::Relaxed),
+        health: shared.health.lock().expect("health lock poisoned").clone(),
         backends,
     }
 }

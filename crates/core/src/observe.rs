@@ -6,10 +6,13 @@
 //! ring (one `pass:<name>` span under the job's trace ID), and the job
 //! progress board (so `Status` can report where a running job is).
 //!
-//! This is the *only* place the optimizer touches `mc_obs`, and it runs
-//! once per pass — never per node or per cut — so the overhead is a few
-//! relaxed atomics and one ring push per round, invisible next to a
-//! rewriting round's millions of cut evaluations.
+//! This is where the optimizer's *metrics and traces* touch `mc_obs`,
+//! and it runs once per pass — never per node or per cut — so the
+//! overhead is a few relaxed atomics and one ring push per round,
+//! invisible next to a rewriting round's millions of cut evaluations.
+//! The phase profiler (`mc_obs::prof`) is the other instrumentation
+//! surface: passes and the shard engine enter phases directly at pass,
+//! round, shard, and node granularity.
 
 use crate::pass::PassStats;
 

@@ -127,6 +127,10 @@ pub(crate) fn rewrite_round(
     objective: Objective,
     pass_name: &str,
 ) -> PassStats {
+    let _round = mc_obs::prof::phase(match objective {
+        Objective::MultiplicativeComplexity => "mc_rewrite",
+        Objective::Size => "size_rewrite",
+    });
     let start = Instant::now();
     let mut topo = TopoScratch::new();
     let mut order: Vec<NodeId> = Vec::new();
@@ -139,14 +143,19 @@ pub(crate) fn rewrite_round(
     // those tables describe the network as it is *now*. They stay valid until
     // the first accepted substitution, after which cut functions must be
     // re-derived on the mutated network.
-    let sets = enumerate_cuts_for(xag, &order, cut_params);
+    let sets = {
+        let _p = mc_obs::prof::phase("cut_enum");
+        enumerate_cuts_for(xag, &order, cut_params)
+    };
     let mut cone = ConeScratch::new();
     let mut mutated = false;
     for &root in &order {
         if xag.is_dead(root) {
             continue;
         }
-        // Find the best replacement among this node's cuts.
+        // Find the best replacement among this node's cuts. The phase
+        // guard is per node — never per cut.
+        let classify = mc_obs::prof::phase("classify");
         let mut best: Option<(i64, XagFragment, [Signal; 6], usize)> = None;
         let tts = sets.functions_of(root);
         for (ci, cut) in sets.of(root).iter().enumerate() {
@@ -187,9 +196,14 @@ pub(crate) fn rewrite_round(
                 best = Some((gain, candidate, leaves, nl));
             }
         }
+        drop(classify);
         if let Some((_, candidate, leaves, nl)) = best {
             let watermark = xag.capacity();
-            let new_sig = candidate.instantiate(xag, &leaves[..nl]);
+            let new_sig = {
+                let _p = mc_obs::prof::phase("synth");
+                candidate.instantiate(xag, &leaves[..nl])
+            };
+            let _p = mc_obs::prof::phase("commit_validate");
             if new_sig.node() != root && !xag.is_in_tfi(root, new_sig) {
                 xag.substitute(root, new_sig);
                 applied += 1;
@@ -465,6 +479,7 @@ impl Pass for XorReduce {
     }
 
     fn run(&self, xag: &mut Xag, _ctx: &mut OptContext) -> PassStats {
+        let _round = mc_obs::prof::phase("xor_reduce");
         let start = Instant::now();
         let ands_before = xag.num_ands();
         let xors_before = xag.num_xors();
@@ -501,6 +516,7 @@ impl Pass for Cleanup {
     }
 
     fn run(&self, xag: &mut Xag, _ctx: &mut OptContext) -> PassStats {
+        let _round = mc_obs::prof::phase("cleanup");
         let start = Instant::now();
         let ands_before = xag.num_ands();
         let xors_before = xag.num_xors();

@@ -191,6 +191,7 @@ impl Pipeline {
             .passes
             .iter()
             .map(|pass| {
+                let _root = mc_obs::prof::phase("pipeline");
                 let stats = pass.run(xag, ctx);
                 crate::observe::pass_boundary(&stats);
                 stats
@@ -248,9 +249,12 @@ impl Pipeline {
         let mut stale = 0usize;
         while executed.len() < self.max_rounds {
             let pass = &self.passes[phase % self.passes.len()];
-            let stats = match threads {
-                Some(t) => pass.run_parallel(xag, ctx, t),
-                None => pass.run(xag, ctx),
+            let stats = {
+                let _root = mc_obs::prof::phase("pipeline");
+                match threads {
+                    Some(t) => pass.run_parallel(xag, ctx, t),
+                    None => pass.run(xag, ctx),
+                }
             };
             crate::observe::pass_boundary(&stats);
             let improved = stats.improved(self.metric);

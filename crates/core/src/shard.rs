@@ -403,11 +403,15 @@ pub(crate) fn parallel_rewrite_round(
     seed: u64,
     pass_name: &str,
 ) -> PassStats {
+    let _round = mc_obs::prof::phase("par_rewrite");
     let start = Instant::now();
     let order = xag.live_gates();
     let (ands_before, xors_before) = crate::pass::count_gates(xag, &order);
 
-    let sets = enumerate_cuts_for(xag, &order, cut_params);
+    let sets = {
+        let _p = mc_obs::prof::phase("cut_enum");
+        enumerate_cuts_for(xag, &order, cut_params)
+    };
     let mut pos: Vec<usize> = vec![0; xag.capacity()];
     for (i, &n) in order.iter().enumerate() {
         pos[n as usize] = i;
@@ -430,6 +434,7 @@ pub(crate) fn parallel_rewrite_round(
     let mut considered = 0usize;
     if threads == 1 || shards.len() <= 1 {
         for shard in &shards {
+            let _p = mc_obs::prof::phase("propose");
             let (props, c) = propose_shard(xag, ctx, &sets, shard, &pos, objective);
             proposals.extend(props);
             considered += c;
@@ -451,6 +456,12 @@ pub(crate) fn parallel_rewrite_round(
                     let (claim, next, shards, sets, pos) = (&claim, &next, &shards, &sets, &pos);
                     s.spawn(move || {
                         let _trace = mc_obs::trace_scope(trace_id);
+                        // The worker's own phase stack roots at the round
+                        // name, so its per-shard propose phases fold to the
+                        // same `par_rewrite;propose` path the inline run
+                        // produces — and flush once per worker, not per
+                        // shard, when the root guard drops.
+                        let _round = mc_obs::prof::phase("par_rewrite");
                         let mut mine: Vec<(usize, Vec<Proposal>, usize)> = Vec::new();
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
@@ -458,8 +469,10 @@ pub(crate) fn parallel_rewrite_round(
                                 break;
                             }
                             let si = claim[k];
+                            let _p = mc_obs::prof::phase("propose");
                             let (props, c) =
                                 propose_shard(frozen, &mut wctx, sets, &shards[si], pos, objective);
+                            drop(_p);
                             mine.push((si, props, c));
                         }
                         (mine, wctx)
@@ -500,7 +513,10 @@ pub(crate) fn parallel_rewrite_round(
 
     let commit_start = Instant::now();
     let num_proposals = proposals.len();
-    let applied = commit_proposals(xag, proposals, objective);
+    let applied = {
+        let _p = mc_obs::prof::phase("commit_validate");
+        commit_proposals(xag, proposals, objective)
+    };
     let reg = mc_obs::registry();
     reg.histogram("mc_shard_commit_us")
         .record(commit_start.elapsed().as_micros() as u64);

@@ -1,0 +1,581 @@
+//! Metrics history: a fixed-capacity ring of timestamped snapshots with
+//! sliding-window derivations.
+//!
+//! The live registry ([`crate::metrics`]) only answers "how much since
+//! process start". Operators ask a different question — "what is the
+//! cluster doing *right now*" — which needs rates: jobs/s, cache
+//! hit-rate, retry rate, latency quantiles over the last 10 seconds, not
+//! the last week. A sampler thread in the daemon and the router pushes a
+//! cumulative [`Sample`] every interval; a window is then the *delta*
+//! between the newest sample and the oldest sample inside the window, so
+//! rates never need per-event bookkeeping on the hot path.
+//!
+//! Everything is built for exact cluster-wide aggregation: a
+//! [`HistoryWindow`] is raw deltas (counts and per-bucket latency
+//! counts), not derived rates, so the router can merge per-backend
+//! windows by plain addition — associative and commutative, same
+//! argument as [`crate::metrics::Histogram::merge`] — and derive rates
+//! once at the edge. Timestamps come in from the caller, which keeps the
+//! window math testable against a synthetic clock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{bucket_upper, Counter, Gauge, Histogram, BUCKETS};
+
+/// The standard window lengths, in seconds: 10s / 1m / 5m.
+pub const WINDOWS_SECS: [u64; 3] = [10, 60, 300];
+
+/// Default ring capacity: 12 minutes of 1 s samples — comfortably more
+/// than the longest (5 m) window.
+pub const DEFAULT_CAPACITY: usize = 720;
+
+/// One cumulative snapshot of the service counters, stamped with an
+/// epoch-milliseconds clock supplied by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Epoch milliseconds at which the snapshot was taken.
+    pub at_ms: u64,
+    /// Jobs completed since process start.
+    pub jobs: u64,
+    /// Cache hits since process start.
+    pub hits: u64,
+    /// Cache misses since process start.
+    pub misses: u64,
+    /// Dispatch retries since process start (routers; zero on backends).
+    pub retries: u64,
+    /// Errors since process start.
+    pub errors: u64,
+    /// Instantaneous queue depth.
+    pub queue_depth: u64,
+    /// Instantaneous busy-worker count.
+    pub busy: u64,
+    /// Cumulative latency observation count.
+    pub lat_count: u64,
+    /// Cumulative latency sum (µs).
+    pub lat_sum: u64,
+    /// Cumulative per-bucket latency counts (see [`crate::metrics`]).
+    pub lat_buckets: [u64; BUCKETS],
+}
+
+impl Sample {
+    /// An all-zero sample at `at_ms`.
+    pub fn zero(at_ms: u64) -> Self {
+        Self {
+            at_ms,
+            jobs: 0,
+            hits: 0,
+            misses: 0,
+            retries: 0,
+            errors: 0,
+            queue_depth: 0,
+            busy: 0,
+            lat_count: 0,
+            lat_sum: 0,
+            lat_buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The metric handles a sampler reads each tick. Each service wires its
+/// own names (the daemon's `serve_*`, the router's `cluster_*`); handles
+/// are cached `Arc`s so a tick is a handful of relaxed loads.
+pub struct HistorySource {
+    /// Completed-jobs counter.
+    pub jobs: Arc<Counter>,
+    /// Cache-hit counter.
+    pub hits: Arc<Counter>,
+    /// Cache-miss counter.
+    pub misses: Arc<Counter>,
+    /// Retry counter.
+    pub retries: Arc<Counter>,
+    /// Error counter.
+    pub errors: Arc<Counter>,
+    /// Queue-depth gauge.
+    pub queue_depth: Arc<Gauge>,
+    /// Busy-workers gauge.
+    pub busy: Arc<Gauge>,
+    /// Job-latency histogram.
+    pub latency: Arc<Histogram>,
+}
+
+impl HistorySource {
+    /// Reads every handle into a snapshot stamped `at_ms`.
+    pub fn sample(&self, at_ms: u64) -> Sample {
+        Sample {
+            at_ms,
+            jobs: self.jobs.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            retries: self.retries.get(),
+            errors: self.errors.get(),
+            queue_depth: self.queue_depth.get(),
+            busy: self.busy.get(),
+            lat_count: self.latency.count(),
+            lat_sum: self.latency.sum(),
+            lat_buckets: self.latency.bucket_counts(),
+        }
+    }
+}
+
+/// Raw deltas over one sliding window — the wire and merge unit.
+///
+/// Merging is field-wise addition (span takes the max), so cluster-wide
+/// aggregation is exact and order-independent; rates are derived *after*
+/// merging via [`HistoryWindow::jobs_per_sec`] and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryWindow {
+    /// Nominal window length in seconds.
+    pub window_secs: u64,
+    /// Milliseconds actually spanned by the samples behind the deltas
+    /// (zero when fewer than two samples fell inside the window).
+    pub span_ms: u64,
+    /// Jobs completed inside the window.
+    pub jobs: u64,
+    /// Cache hits inside the window.
+    pub hits: u64,
+    /// Cache misses inside the window.
+    pub misses: u64,
+    /// Dispatch retries inside the window.
+    pub retries: u64,
+    /// Errors inside the window.
+    pub errors: u64,
+    /// Queue depth at the newest sample (summed across a cluster).
+    pub queue_depth: u64,
+    /// Busy workers at the newest sample (summed across a cluster).
+    pub busy: u64,
+    /// Latency observations inside the window.
+    pub lat_count: u64,
+    /// Sum of latencies inside the window (µs).
+    pub lat_sum: u64,
+    /// Per-bucket latency counts inside the window.
+    pub lat_buckets: Vec<u64>,
+}
+
+impl HistoryWindow {
+    /// An empty window of nominal length `window_secs`.
+    pub fn empty(window_secs: u64) -> Self {
+        Self {
+            window_secs,
+            span_ms: 0,
+            jobs: 0,
+            hits: 0,
+            misses: 0,
+            retries: 0,
+            errors: 0,
+            queue_depth: 0,
+            busy: 0,
+            lat_count: 0,
+            lat_sum: 0,
+            lat_buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// The delta between two cumulative samples. Counters use saturating
+    /// subtraction so a restarted process (counters reset to zero) yields
+    /// an empty delta instead of garbage.
+    pub fn between(window_secs: u64, oldest: &Sample, newest: &Sample) -> Self {
+        Self {
+            window_secs,
+            span_ms: newest.at_ms.saturating_sub(oldest.at_ms),
+            jobs: newest.jobs.saturating_sub(oldest.jobs),
+            hits: newest.hits.saturating_sub(oldest.hits),
+            misses: newest.misses.saturating_sub(oldest.misses),
+            retries: newest.retries.saturating_sub(oldest.retries),
+            errors: newest.errors.saturating_sub(oldest.errors),
+            queue_depth: newest.queue_depth,
+            busy: newest.busy,
+            lat_count: newest.lat_count.saturating_sub(oldest.lat_count),
+            lat_sum: newest.lat_sum.saturating_sub(oldest.lat_sum),
+            lat_buckets: (0..BUCKETS)
+                .map(|b| newest.lat_buckets[b].saturating_sub(oldest.lat_buckets[b]))
+                .collect(),
+        }
+    }
+
+    /// Adds `other` into `self`: field-wise addition, span takes the max.
+    /// Associative and commutative, so cluster aggregation order does not
+    /// matter.
+    pub fn merge(&mut self, other: &HistoryWindow) {
+        debug_assert_eq!(self.window_secs, other.window_secs);
+        self.span_ms = self.span_ms.max(other.span_ms);
+        self.jobs += other.jobs;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.retries += other.retries;
+        self.errors += other.errors;
+        self.queue_depth += other.queue_depth;
+        self.busy += other.busy;
+        self.lat_count += other.lat_count;
+        self.lat_sum += other.lat_sum;
+        if self.lat_buckets.len() < other.lat_buckets.len() {
+            self.lat_buckets.resize(other.lat_buckets.len(), 0);
+        }
+        for (b, n) in other.lat_buckets.iter().enumerate() {
+            self.lat_buckets[b] += n;
+        }
+    }
+
+    /// Jobs per second over the spanned interval (0 with no span).
+    pub fn jobs_per_sec(&self) -> f64 {
+        rate_per_sec(self.jobs, self.span_ms)
+    }
+
+    /// Cache hit-rate in `[0, 1]` (0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits, self.hits + self.misses)
+    }
+
+    /// Dispatch retries per routed job (0 with no jobs).
+    pub fn retry_rate(&self) -> f64 {
+        ratio(self.retries, self.jobs)
+    }
+
+    /// Errors per job (0 with no jobs).
+    pub fn error_rate(&self) -> f64 {
+        ratio(self.errors, self.jobs + self.errors)
+    }
+
+    /// The latency value at quantile `q` within the window, in µs —
+    /// a cumulative walk over the delta buckets, same semantics as
+    /// [`crate::metrics::Histogram::quantile`]. Returns 0 for an empty
+    /// window.
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.lat_count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.lat_count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, n) in self.lat_buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Window p50 latency in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_quantile(0.50)
+    }
+
+    /// Window p99 latency in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_quantile(0.99)
+    }
+}
+
+fn rate_per_sec(n: u64, span_ms: u64) -> f64 {
+    if span_ms == 0 {
+        0.0
+    } else {
+        n as f64 * 1000.0 / span_ms as f64
+    }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// The ring itself: a mutex over a `VecDeque` of samples. The lock is
+/// touched once per sampler tick and once per `MetricsHistory` request —
+/// both far off the optimization hot path ("lock-light" in the sense
+/// that matters: never on a per-job or per-node edge).
+pub struct History {
+    samples: Mutex<VecDeque<Sample>>,
+    capacity: AtomicUsize,
+}
+
+impl Default for History {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl History {
+    /// An empty ring holding at most `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Mutex::new(VecDeque::new()),
+            capacity: AtomicUsize::new(capacity.max(2)),
+        }
+    }
+
+    /// Re-sizes the ring (the sampler thread applies the configured
+    /// capacity at startup). Shrinking drops the oldest samples.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(2);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut samples = self.samples.lock().expect("history lock poisoned");
+        while samples.len() > capacity {
+            samples.pop_front();
+        }
+    }
+
+    /// Appends a snapshot, dropping the oldest once full. Out-of-order
+    /// samples (clock went backwards) are dropped rather than corrupting
+    /// the window scan.
+    pub fn push(&self, sample: Sample) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let mut samples = self.samples.lock().expect("history lock poisoned");
+        if let Some(last) = samples.back() {
+            if sample.at_ms < last.at_ms {
+                return;
+            }
+        }
+        if samples.len() == capacity {
+            samples.pop_front();
+        }
+        samples.push_back(sample);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("history lock poisoned").len()
+    }
+
+    /// True when no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The newest retained sample, if any.
+    pub fn newest(&self) -> Option<Sample> {
+        self.samples
+            .lock()
+            .expect("history lock poisoned")
+            .back()
+            .cloned()
+    }
+
+    /// The window deltas ending at the newest sample, one per entry of
+    /// `windows_secs`, evaluated at synthetic time `now_ms`. A window
+    /// needs two samples inside it to carry a delta; otherwise it comes
+    /// back empty (all zeros, span 0).
+    pub fn windows(&self, now_ms: u64, windows_secs: &[u64]) -> Vec<HistoryWindow> {
+        let samples = self.samples.lock().expect("history lock poisoned");
+        windows_secs
+            .iter()
+            .map(|&w| {
+                let horizon = now_ms.saturating_sub(w.saturating_mul(1000));
+                let newest = match samples.back() {
+                    Some(s) if s.at_ms >= horizon => s,
+                    _ => return HistoryWindow::empty(w),
+                };
+                let oldest = samples.iter().find(|s| s.at_ms >= horizon);
+                match oldest {
+                    Some(o) if o.at_ms < newest.at_ms => HistoryWindow::between(w, o, newest),
+                    _ => HistoryWindow::empty(w),
+                }
+            })
+            .collect()
+    }
+
+    /// [`History::windows`] over the standard 10s/1m/5m windows at the
+    /// wall clock.
+    pub fn standard_windows(&self) -> Vec<HistoryWindow> {
+        self.windows(crate::epoch_us() / 1000, &WINDOWS_SECS)
+    }
+}
+
+/// The process-global history ring, mirroring [`crate::registry`]: the
+/// sampler thread feeds it, the `MetricsHistory` endpoint reads it.
+pub fn history() -> &'static History {
+    static HISTORY: OnceLock<History> = OnceLock::new();
+    HISTORY.get_or_init(History::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_ms: u64, jobs: u64, hits: u64, misses: u64, lat: &[u64]) -> Sample {
+        let h = Histogram::new();
+        for &v in lat {
+            h.record(v);
+        }
+        Sample {
+            at_ms,
+            jobs,
+            hits,
+            misses,
+            retries: 0,
+            errors: 0,
+            queue_depth: 1,
+            busy: 2,
+            lat_count: h.count(),
+            lat_sum: h.sum(),
+            lat_buckets: h.bucket_counts(),
+        }
+    }
+
+    #[test]
+    fn ring_wraps_dropping_the_oldest() {
+        let h = History::with_capacity(4);
+        for i in 0..10u64 {
+            h.push(sample(i * 1000, i, 0, 0, &[]));
+        }
+        assert_eq!(h.len(), 4);
+        // Only t=6000..9000 retained: a 100 s window spans exactly those.
+        let w = &h.windows(9_000, &[100])[0];
+        assert_eq!(w.jobs, 9 - 6);
+        assert_eq!(w.span_ms, 3_000);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let h = History::with_capacity(8);
+        h.push(sample(5_000, 5, 0, 0, &[]));
+        h.push(sample(4_000, 9, 0, 0, &[]));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.newest().unwrap().at_ms, 5_000);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_from_the_front() {
+        let h = History::with_capacity(8);
+        for i in 0..8u64 {
+            h.push(sample(i * 1000, i, 0, 0, &[]));
+        }
+        h.set_capacity(3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.newest().unwrap().at_ms, 7_000);
+    }
+
+    #[test]
+    fn window_math_against_a_synthetic_clock() {
+        let h = History::with_capacity(64);
+        // One sample per second; 2 jobs, 1 hit, 1 miss per second.
+        for i in 0..31u64 {
+            h.push(sample(i * 1000, 2 * i, i, i, &[]));
+        }
+        let now = 30_000;
+        let ws = h.windows(now, &[10, 60]);
+        // 10 s window: samples at t=20..30 → 10 s span, 20 jobs.
+        assert_eq!(ws[0].span_ms, 10_000);
+        assert_eq!(ws[0].jobs, 20);
+        assert!((ws[0].jobs_per_sec() - 2.0).abs() < 1e-9);
+        assert!((ws[0].hit_rate() - 0.5).abs() < 1e-9);
+        // 60 s window: only 30 s of history exists; rate still exact
+        // because it divides by the actual span.
+        assert_eq!(ws[1].span_ms, 30_000);
+        assert_eq!(ws[1].jobs, 60);
+        assert!((ws[1].jobs_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_and_stale_windows_are_empty() {
+        let h = History::with_capacity(8);
+        assert!(h.windows(1_000, &[10])[0].jobs == 0);
+        h.push(sample(500, 7, 0, 0, &[]));
+        // One sample in window: no delta.
+        let w = &h.windows(1_000, &[10])[0];
+        assert_eq!((w.jobs, w.span_ms), (0, 0));
+        // Sampler stalled: newest sample fell out of the window.
+        h.push(sample(900, 9, 0, 0, &[]));
+        let w = &h.windows(60_000, &[10])[0];
+        assert_eq!((w.jobs, w.span_ms), (0, 0));
+    }
+
+    #[test]
+    fn counter_reset_yields_empty_delta_not_garbage() {
+        let h = History::with_capacity(8);
+        h.push(sample(0, 100, 0, 0, &[]));
+        h.push(sample(1_000, 3, 0, 0, &[])); // process restarted
+        let w = &h.windows(1_000, &[10])[0];
+        assert_eq!(w.jobs, 0);
+    }
+
+    #[test]
+    fn window_latency_quantiles_read_the_delta_not_the_total() {
+        let h = History::with_capacity(8);
+        // Old sample: 100 slow observations (~1000 µs).
+        let slow: Vec<u64> = vec![1000; 100];
+        h.push(sample(0, 0, 0, 0, &slow));
+        // New sample: those plus 100 fast (~10 µs) observations.
+        let mut all = slow.clone();
+        all.extend(vec![10u64; 100]);
+        h.push(sample(10_000, 0, 0, 0, &all));
+        let w = &h.windows(10_000, &[10])[0];
+        assert_eq!(w.lat_count, 100);
+        // The window only saw the fast observations.
+        assert_eq!(w.p50_us(), 15);
+        assert_eq!(w.p99_us(), 15);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |jobs, hits, lat: &[u64]| {
+            let old = sample(0, 0, 0, 0, &[]);
+            let new = sample(10_000, jobs, hits, 1, lat);
+            HistoryWindow::between(10, &old, &new)
+        };
+        let (a, b, c) = (mk(4, 1, &[5, 9]), mk(9, 2, &[1000]), mk(0, 0, &[]));
+        let digest = |w: &HistoryWindow| {
+            (
+                w.jobs,
+                w.hits,
+                w.misses,
+                w.lat_count,
+                w.lat_sum,
+                w.p50_us(),
+                w.p99_us(),
+                w.lat_buckets.clone(),
+            )
+        };
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(digest(&left), digest(&right));
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(digest(&ab), digest(&ba));
+    }
+
+    #[test]
+    fn rates_guard_against_empty_denominators() {
+        let w = HistoryWindow::empty(10);
+        assert_eq!(w.jobs_per_sec(), 0.0);
+        assert_eq!(w.hit_rate(), 0.0);
+        assert_eq!(w.retry_rate(), 0.0);
+        assert_eq!(w.error_rate(), 0.0);
+        assert_eq!(w.p99_us(), 0);
+    }
+
+    #[test]
+    fn source_samples_registry_handles() {
+        let r = crate::Registry::new();
+        let source = HistorySource {
+            jobs: r.counter("jobs"),
+            hits: r.counter("hits"),
+            misses: r.counter("misses"),
+            retries: r.counter("retries"),
+            errors: r.counter("errors"),
+            queue_depth: r.gauge("queue"),
+            busy: r.gauge("busy"),
+            latency: r.histogram("lat_us"),
+        };
+        r.counter("jobs").add(3);
+        r.gauge("queue").set(5);
+        r.histogram("lat_us").record(100);
+        let s = source.sample(42);
+        assert_eq!(s.at_ms, 42);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.lat_count, 1);
+    }
+}

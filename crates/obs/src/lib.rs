@@ -1,6 +1,6 @@
 //! mc-obs — std-only observability core for the mc workspace.
 //!
-//! Three pieces, each usable alone:
+//! Five pieces, each usable alone:
 //!
 //! - [`metrics`]: a lock-light registry of atomic counters, gauges, and
 //!   log2-bucket histograms with mergeable quantiles, rendered as
@@ -10,17 +10,26 @@
 //!   dump for the `TraceDump` endpoint.
 //! - [`progress`]: a board of running jobs updated at pipeline pass
 //!   boundaries and snapshotted by `Status`.
+//! - [`history`]: a fixed-capacity ring of timestamped metric snapshots
+//!   with 10s/1m/5m sliding-window rates, merged cluster-wide by the
+//!   `MetricsHistory` endpoint.
+//! - [`prof`]: the continuous phase profiler — per-phase self/total time
+//!   in folded-stack form for the `ProfDump` endpoint.
 //!
 //! The crate has no dependencies and no feature flags: instrumentation
 //! call sites in core/serve/cluster pay a few relaxed atomics or one
-//! short ring push per *pass or request*, never per node or per cut, so
-//! it stays on unconditionally.
+//! short ring push per *pass, round, shard, node, or request* — never per
+//! cut — so it stays on unconditionally.
 
+pub mod history;
 pub mod metrics;
+pub mod prof;
 pub mod progress;
 pub mod trace;
 
+pub use history::{history, History, HistorySource, HistoryWindow, Sample, WINDOWS_SECS};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use prof::{phase, PhaseStat};
 pub use progress::{job_scope, snapshot as progress_snapshot, update_current, JobProgress};
 pub use trace::{
     current_trace_id, dump as trace_dump, epoch_us, instant, next_trace_id, record, span,

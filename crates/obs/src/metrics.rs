@@ -98,7 +98,7 @@ impl Default for Histogram {
 
 /// The bucket index of a value: 0 for 0, otherwise `floor(log2(v)) + 1`,
 /// clamped into the overflow bucket.
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -107,7 +107,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// The inclusive upper bound of a bucket: the largest value it counts.
-fn bucket_upper(b: usize) -> u64 {
+pub fn bucket_upper(b: usize) -> u64 {
     if b == 0 {
         0
     } else if b >= BUCKETS - 1 {
@@ -142,6 +142,13 @@ impl Histogram {
             .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum
             .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A snapshot of the per-bucket counts. The history ring stores these
+    /// so a sliding window can subtract two cumulative snapshots and read
+    /// quantiles off the delta.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        core::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed))
     }
 
     /// Observations recorded.
@@ -229,7 +236,9 @@ impl Registry {
 
     /// Renders every metric as Prometheus-style text, sorted by name.
     /// Counters and gauges are one `name value` line; a histogram `h`
-    /// renders `h_count`, `h_sum`, and `h_p50`/`h_p90`/`h_p99` lines.
+    /// renders `h_count`, `h_sum`, `h_p50`/`h_p90`/`h_p99`, and cumulative
+    /// `h_bucket{le="..."}` lines (occupied buckets only, plus `+Inf`, so
+    /// the 40-bucket layout does not bloat the endpoint).
     pub fn render(&self) -> String {
         let inner = self.inner.lock().expect("metrics lock poisoned");
         let mut out = String::new();
@@ -246,8 +255,31 @@ impl Registry {
             out.push_str(&format!("{name}_p50 {p50}\n"));
             out.push_str(&format!("{name}_p90 {p90}\n"));
             out.push_str(&format!("{name}_p99 {p99}\n"));
+            let mut cumulative = 0u64;
+            for (b, n) in h.bucket_counts().iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                out.push_str(&bucket_line(name, &bucket_upper(b).to_string(), cumulative));
+            }
+            out.push_str(&bucket_line(name, "+Inf", h.count()));
         }
         out
+    }
+}
+
+/// One cumulative-bucket line. A name that already carries
+/// `{label="value"}` suffixes gets `le` spliced in as the first label so
+/// the output stays parseable.
+fn bucket_line(name: &str, le: &str, cumulative: u64) -> String {
+    match name.find('{') {
+        Some(i) => format!(
+            "{}_bucket{{le=\"{le}\",{} {cumulative}\n",
+            &name[..i],
+            &name[i + 1..]
+        ),
+        None => format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"),
     }
 }
 
@@ -370,5 +402,38 @@ mod tests {
         assert!(text.contains("lat_us_count 1"));
         assert!(text.contains("lat_us_sum 100"));
         assert!(text.contains("lat_us_p50 127"));
+    }
+
+    #[test]
+    fn render_emits_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us");
+        h.record(5); // bucket upper 7
+        h.record(6); // same bucket
+        h.record(100); // bucket upper 127
+        let text = r.render();
+        assert!(text.contains("lat_us_bucket{le=\"7\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"127\"} 3"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        // Empty buckets are skipped.
+        assert!(!text.contains("le=\"0\""), "{text}");
+    }
+
+    #[test]
+    fn bucket_lines_splice_le_into_existing_labels() {
+        let line = bucket_line("rt_us{backend=\"2\"}", "15", 4);
+        assert_eq!(line, "rt_us_bucket{le=\"15\",backend=\"2\"} 4\n");
+    }
+
+    #[test]
+    fn bucket_counts_snapshot_matches_recording() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[bucket_of(5)], 2);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
     }
 }

@@ -221,6 +221,9 @@ fn main() {
         Some("cluster-stats") => {
             let c = client.cluster_stats().unwrap_or_else(|e| fail(e));
             println!("uptime        : {}s", c.uptime_secs);
+            if !c.health.is_empty() {
+                println!("health        : {}", c.health);
+            }
             println!("jobs_routed   : {}", c.jobs_routed);
             println!("jobs_retried  : {}", c.jobs_retried);
             println!(

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--port-file PATH]
-//!          [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]
+//!          [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N] [--sample-ms N]
 //! ```
 //!
 //! * `--addr` — listen address; port 0 picks an ephemeral port
@@ -23,6 +23,8 @@
 //!   bound address).
 //! * `--heartbeat-ms` — heartbeat interval toward the joined router
 //!   (default 500).
+//! * `--sample-ms` — metrics-history sampling interval (default 1000);
+//!   the ring keeps 720 samples, so the default covers 12 minutes.
 //!
 //! The daemon runs until a client sends a `shutdown` request (e.g.
 //! `mc-client <addr> --shutdown`).
@@ -32,7 +34,8 @@ use mc_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: mc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-         [--port-file PATH] [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]"
+         [--port-file PATH] [--join ROUTER_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N] \
+         [--sample-ms N]"
     );
     std::process::exit(2);
 }
@@ -59,6 +62,10 @@ fn main() {
             "--heartbeat-ms" => {
                 let millis: u64 = value().parse().unwrap_or_else(|_| usage());
                 config.heartbeat_interval = std::time::Duration::from_millis(millis.max(1));
+            }
+            "--sample-ms" => {
+                let millis: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.sample_interval = std::time::Duration::from_millis(millis.max(1));
             }
             _ => usage(),
         }

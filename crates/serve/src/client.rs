@@ -272,6 +272,40 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metric-history windows (10s/1m/5m sliding
+    /// rates derived from the sampler ring) plus the server's clock at
+    /// snapshot time. From a cluster router the windows are the exact
+    /// merge of every healthy backend's.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics_history(&mut self) -> Result<(u64, Vec<mc_obs::HistoryWindow>), ClientError> {
+        match self.request(&Request::MetricsHistory)? {
+            Response::MetricsHistory { at_ms, windows } => Ok((at_ms, windows)),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the accumulated phase profile. From a cluster router the
+    /// phases are merged across backends by path.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn prof_dump(&mut self) -> Result<Vec<mc_obs::PhaseStat>, ClientError> {
+        match self.request(&Request::ProfDump)? {
+            Response::ProfDump { phases } => Ok(phases),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
     /// Fetches recorded trace events, optionally filtered to one trace
     /// ID. From a cluster router this merges the router's own events
     /// with every healthy backend's, sorted onto one timeline.

@@ -27,7 +27,7 @@ use crate::server::Shared;
 /// latency bounded regardless of the heartbeat interval.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 
-fn sleep_until_shutdown(shared: &Arc<Shared>, total: Duration) {
+pub(crate) fn sleep_until_shutdown(shared: &Arc<Shared>, total: Duration) {
     let mut remaining = total;
     while !shared.shutdown.load(Ordering::SeqCst) && !remaining.is_zero() {
         let slice = remaining.min(SHUTDOWN_POLL);

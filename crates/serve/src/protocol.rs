@@ -14,7 +14,7 @@
 
 use std::io::{Read, Write};
 
-use mc_obs::{JobProgress, TraceEvent};
+use mc_obs::{HistoryWindow, JobProgress, PhaseStat, TraceEvent};
 use xag_circuits::CircuitFormat;
 use xag_mc::FlowSpec;
 
@@ -239,6 +239,15 @@ pub enum Request {
     /// (answered with [`Response::Metrics`]). A router appends every
     /// healthy backend's section, keyed by backend.
     Metrics,
+    /// Report the sliding-window metric history (answered with
+    /// [`Response::MetricsHistory`]). A router merges every healthy
+    /// backend's windows by plain addition — exact, because the windows
+    /// carry raw deltas and per-bucket latency counts, not derived rates.
+    MetricsHistory,
+    /// Report the accumulated phase profile in folded-stack form
+    /// (answered with [`Response::ProfDump`]). A router merges every
+    /// healthy backend's profile per path.
+    ProfDump,
     /// Report recorded trace events, optionally filtered to one trace ID
     /// (answered with [`Response::TraceDump`]). A router merges its own
     /// events with every healthy backend's onto one timeline.
@@ -399,6 +408,10 @@ pub struct ClusterStatsInfo {
     pub affinity_fallbacks: u64,
     /// One row per registered backend, id order.
     pub backends: Vec<BackendStats>,
+    /// SLO watchdog summary: empty when no SLO is configured (or the
+    /// router predates the watchdog), otherwise `"ok"`, or
+    /// `"warn: ..."`/`"breach: ..."` naming the violated thresholds.
+    pub health: String,
 }
 
 impl ClusterStatsInfo {
@@ -440,6 +453,20 @@ pub enum Response {
         /// One `name value` line per metric; histograms expand to
         /// `_count`/`_sum`/`_p50`/`_p90`/`_p99` lines.
         text: String,
+    },
+    /// Answer to [`Request::MetricsHistory`]: the 10s/1m/5m window
+    /// deltas, ending at the responder's newest sample.
+    MetricsHistory {
+        /// Epoch milliseconds the responder answered at.
+        at_ms: u64,
+        /// One delta per standard window, shortest first.
+        windows: Vec<HistoryWindow>,
+    },
+    /// Answer to [`Request::ProfDump`]: the accumulated phase profile.
+    ProfDump {
+        /// Per-path phase timings, sorted by path; `path` joined with
+        /// `self_us` is one folded-stack line.
+        phases: Vec<PhaseStat>,
     },
     /// Answer to [`Request::TraceDump`]: recorded events, sorted by
     /// start time.
@@ -538,6 +565,10 @@ impl Request {
                 Json::Obj(vec![("type".to_string(), Json::from("cluster_stats"))])
             }
             Request::Metrics => Json::Obj(vec![("type".to_string(), Json::from("metrics"))]),
+            Request::MetricsHistory => {
+                Json::Obj(vec![("type".to_string(), Json::from("metrics_history"))])
+            }
+            Request::ProfDump => Json::Obj(vec![("type".to_string(), Json::from("prof_dump"))]),
             Request::TraceDump { trace_id } => {
                 let mut members = vec![("type".to_string(), Json::from("trace_dump"))];
                 if let Some(id) = trace_id {
@@ -628,6 +659,8 @@ impl Request {
             })),
             "cluster_stats" => Ok(Request::ClusterStats),
             "metrics" => Ok(Request::Metrics),
+            "metrics_history" => Ok(Request::MetricsHistory),
+            "prof_dump" => Ok(Request::ProfDump),
             "trace_dump" => Ok(Request::TraceDump {
                 trace_id: match value.get("trace_id") {
                     None | Some(Json::Null) => None,
@@ -638,6 +671,52 @@ impl Request {
             other => Err(format!("unknown request type: {other}")),
         }
     }
+}
+
+/// The JSON form of one history window: raw deltas plus the per-bucket
+/// latency counts, so aggregation stays exact on the wire.
+fn window_to_json(w: &HistoryWindow) -> Json {
+    Json::Obj(vec![
+        ("window_secs".to_string(), Json::from(w.window_secs)),
+        ("span_ms".to_string(), Json::from(w.span_ms)),
+        ("jobs".to_string(), Json::from(w.jobs)),
+        ("hits".to_string(), Json::from(w.hits)),
+        ("misses".to_string(), Json::from(w.misses)),
+        ("retries".to_string(), Json::from(w.retries)),
+        ("errors".to_string(), Json::from(w.errors)),
+        ("queue_depth".to_string(), Json::from(w.queue_depth)),
+        ("busy".to_string(), Json::from(w.busy)),
+        ("lat_count".to_string(), Json::from(w.lat_count)),
+        ("lat_sum".to_string(), Json::from(w.lat_sum)),
+        (
+            "lat_buckets".to_string(),
+            Json::Arr(w.lat_buckets.iter().map(|&n| Json::from(n)).collect()),
+        ),
+    ])
+}
+
+fn window_from_json(value: &Json) -> Result<HistoryWindow, String> {
+    let lat_buckets = value
+        .get("lat_buckets")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|n| n.as_u64().ok_or("non-integer latency bucket".to_string()))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(HistoryWindow {
+        window_secs: obj_u64_or(value, "window_secs", 0)?,
+        span_ms: obj_u64_or(value, "span_ms", 0)?,
+        jobs: obj_u64_or(value, "jobs", 0)?,
+        hits: obj_u64_or(value, "hits", 0)?,
+        misses: obj_u64_or(value, "misses", 0)?,
+        retries: obj_u64_or(value, "retries", 0)?,
+        errors: obj_u64_or(value, "errors", 0)?,
+        queue_depth: obj_u64_or(value, "queue_depth", 0)?,
+        busy: obj_u64_or(value, "busy", 0)?,
+        lat_count: obj_u64_or(value, "lat_count", 0)?,
+        lat_sum: obj_u64_or(value, "lat_sum", 0)?,
+        lat_buckets,
+    })
 }
 
 /// Counts a structurally invalid request (parsed JSON, unusable content)
@@ -725,17 +804,22 @@ impl Response {
                 ("type".to_string(), Json::from("registered")),
                 ("backend_id".to_string(), Json::from(*backend_id)),
             ]),
-            Response::ClusterStats(c) => Json::Obj(vec![
-                ("type".to_string(), Json::from("cluster_stats")),
-                ("uptime_secs".to_string(), Json::from(c.uptime_secs)),
-                ("jobs_routed".to_string(), Json::from(c.jobs_routed)),
-                ("jobs_retried".to_string(), Json::from(c.jobs_retried)),
-                ("affinity_hits".to_string(), Json::from(c.affinity_hits)),
-                (
-                    "affinity_fallbacks".to_string(),
-                    Json::from(c.affinity_fallbacks),
-                ),
-                (
+            Response::ClusterStats(c) => {
+                let mut members = vec![
+                    ("type".to_string(), Json::from("cluster_stats")),
+                    ("uptime_secs".to_string(), Json::from(c.uptime_secs)),
+                    ("jobs_routed".to_string(), Json::from(c.jobs_routed)),
+                    ("jobs_retried".to_string(), Json::from(c.jobs_retried)),
+                    ("affinity_hits".to_string(), Json::from(c.affinity_hits)),
+                    (
+                        "affinity_fallbacks".to_string(),
+                        Json::from(c.affinity_fallbacks),
+                    ),
+                ];
+                if !c.health.is_empty() {
+                    members.push(("health".to_string(), Json::from(c.health.as_str())));
+                }
+                members.push((
                     "backends".to_string(),
                     Json::Arr(
                         c.backends
@@ -757,11 +841,39 @@ impl Response {
                             })
                             .collect(),
                     ),
-                ),
-            ]),
+                ));
+                Json::Obj(members)
+            }
             Response::Metrics { text } => Json::Obj(vec![
                 ("type".to_string(), Json::from("metrics")),
                 ("text".to_string(), Json::from(text.as_str())),
+            ]),
+            Response::MetricsHistory { at_ms, windows } => Json::Obj(vec![
+                ("type".to_string(), Json::from("metrics_history")),
+                ("at_ms".to_string(), Json::from(*at_ms)),
+                (
+                    "windows".to_string(),
+                    Json::Arr(windows.iter().map(window_to_json).collect()),
+                ),
+            ]),
+            Response::ProfDump { phases } => Json::Obj(vec![
+                ("type".to_string(), Json::from("prof_dump")),
+                (
+                    "phases".to_string(),
+                    Json::Arr(
+                        phases
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("path".to_string(), Json::from(p.path.as_str())),
+                                    ("count".to_string(), Json::from(p.count)),
+                                    ("total_us".to_string(), Json::from(p.total_us)),
+                                    ("self_us".to_string(), Json::from(p.self_us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::TraceDump { events } => Json::Obj(vec![
                 ("type".to_string(), Json::from("trace_dump")),
@@ -913,11 +1025,42 @@ impl Response {
                     affinity_hits: obj_u64_or(&value, "affinity_hits", 0)?,
                     affinity_fallbacks: obj_u64_or(&value, "affinity_fallbacks", 0)?,
                     backends,
+                    health: obj_str(&value, "health").unwrap_or_default(),
                 }))
             }
             "metrics" => Ok(Response::Metrics {
                 text: obj_str(&value, "text")?,
             }),
+            "metrics_history" => {
+                let windows = value
+                    .get("windows")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(window_from_json)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::MetricsHistory {
+                    at_ms: obj_u64_or(&value, "at_ms", 0)?,
+                    windows,
+                })
+            }
+            "prof_dump" => {
+                let phases = value
+                    .get("phases")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|p| {
+                        Ok(PhaseStat {
+                            path: obj_str(p, "path")?,
+                            count: obj_u64_or(p, "count", 0)?,
+                            total_us: obj_u64_or(p, "total_us", 0)?,
+                            self_us: obj_u64_or(p, "self_us", 0)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::ProfDump { phases })
+            }
             "trace_dump" => {
                 let events = value
                     .get("events")
@@ -1025,6 +1168,8 @@ mod tests {
             }),
             Request::ClusterStats,
             Request::Metrics,
+            Request::MetricsHistory,
+            Request::ProfDump,
             Request::TraceDump { trace_id: None },
             Request::TraceDump { trace_id: Some(99) },
             Request::Shutdown,
@@ -1104,9 +1249,36 @@ mod tests {
                     cache_hits: 9,
                     cache_misses: 12,
                 }],
+                health: "warn: p99_ms 420>400".to_string(),
             }),
             Response::Metrics {
                 text: "jobs_total 3\nqueue_wait_us_p99 512\n".to_string(),
+            },
+            Response::MetricsHistory {
+                at_ms: 1_700_000_000_123,
+                windows: vec![
+                    {
+                        let mut w = HistoryWindow::empty(10);
+                        w.span_ms = 10_000;
+                        w.jobs = 20;
+                        w.hits = 5;
+                        w.misses = 15;
+                        w.lat_count = 2;
+                        w.lat_sum = 1_100;
+                        w.lat_buckets[7] = 1;
+                        w.lat_buckets[10] = 1;
+                        w
+                    },
+                    HistoryWindow::empty(60),
+                ],
+            },
+            Response::ProfDump {
+                phases: vec![PhaseStat {
+                    path: "pipeline;mc_rewrite;cut_enum".to_string(),
+                    count: 12,
+                    total_us: 3_400,
+                    self_us: 1_234,
+                }],
             },
             Response::TraceDump {
                 events: vec![TraceEvent {
@@ -1239,6 +1411,47 @@ mod tests {
         }
     }
 
+    /// The observability frames added after PR 8 degrade gracefully
+    /// against older peers: `health` defaults to empty, windows and
+    /// phases to nothing.
+    #[test]
+    fn history_and_health_fields_are_backward_compatible() {
+        let resp = Response::from_payload(br#"{"type":"cluster_stats","jobs_routed":3}"#).unwrap();
+        match &resp {
+            Response::ClusterStats(c) => assert!(c.health.is_empty()),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert!(
+            !String::from_utf8(resp.to_payload())
+                .unwrap()
+                .contains("health"),
+            "empty health stays off the wire"
+        );
+        let resp = Response::from_payload(br#"{"type":"metrics_history"}"#).unwrap();
+        assert_eq!(
+            resp,
+            Response::MetricsHistory {
+                at_ms: 0,
+                windows: Vec::new(),
+            }
+        );
+        let resp = Response::from_payload(br#"{"type":"prof_dump"}"#).unwrap();
+        assert_eq!(resp, Response::ProfDump { phases: Vec::new() });
+        // A window from a peer with fewer (or no) buckets still parses.
+        let resp = Response::from_payload(
+            br#"{"type":"metrics_history","at_ms":5,"windows":[{"window_secs":10,"jobs":2}]}"#,
+        )
+        .unwrap();
+        match resp {
+            Response::MetricsHistory { windows, .. } => {
+                assert_eq!(windows.len(), 1);
+                assert_eq!(windows[0].jobs, 2);
+                assert!(windows[0].lat_buckets.is_empty());
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
     #[test]
     fn hit_rate_is_well_defined() {
         let mut stats = StatsInfo {
@@ -1267,6 +1480,7 @@ mod tests {
             affinity_hits: 0,
             affinity_fallbacks: 0,
             backends: Vec::new(),
+            health: String::new(),
         };
         assert_eq!(stats.affinity_rate(), 0.0);
         stats.affinity_hits = 9;

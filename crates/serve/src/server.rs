@@ -65,6 +65,10 @@ pub struct ServeConfig {
     pub advertise: Option<String>,
     /// Interval between heartbeats to the joined router.
     pub heartbeat_interval: Duration,
+    /// Interval between metric-history snapshots (the sampler thread).
+    pub sample_interval: Duration,
+    /// Bound of the metric-history ring, in samples.
+    pub history_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,8 @@ impl Default for ServeConfig {
             join: None,
             advertise: None,
             heartbeat_interval: Duration::from_millis(500),
+            sample_interval: Duration::from_secs(1),
+            history_capacity: mc_obs::history::DEFAULT_CAPACITY,
         }
     }
 }
@@ -274,6 +280,17 @@ impl Server {
                     .expect("spawn join thread"),
             );
         }
+        {
+            let shared = Arc::clone(&shared);
+            let interval = config.sample_interval;
+            let capacity = config.history_capacity;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mc-serve-sampler".to_string())
+                    .spawn(move || sampler_loop(&shared, interval, capacity))
+                    .expect("spawn sampler thread"),
+            );
+        }
 
         Ok(ServerHandle {
             local_addr,
@@ -318,6 +335,33 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.shared.begin_shutdown();
         self.join();
+    }
+}
+
+/// The metrics sampler: every `interval`, refresh the occupancy gauges
+/// from the live pool state and push one cumulative snapshot into the
+/// process-global history ring — the data behind `MetricsHistory` and
+/// everything `mc-top` draws. Exits with the daemon.
+fn sampler_loop(shared: &Arc<Shared>, interval: Duration, capacity: usize) {
+    let reg = mc_obs::registry();
+    mc_obs::history().set_capacity(capacity);
+    let queue_gauge = reg.gauge("serve_queue_depth");
+    let busy_gauge = reg.gauge("serve_workers_busy");
+    let source = mc_obs::HistorySource {
+        jobs: reg.counter("serve_jobs_served_total"),
+        hits: reg.counter("serve_cache_hits_total"),
+        misses: reg.counter("serve_cache_misses_total"),
+        retries: reg.counter("serve_retries_total"),
+        errors: reg.counter("serve_errors_total"),
+        queue_depth: Arc::clone(&queue_gauge),
+        busy: Arc::clone(&busy_gauge),
+        latency: reg.histogram("serve_run_us"),
+    };
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        queue_gauge.set(shared.queue.len() as u64);
+        busy_gauge.set(shared.busy.load(Ordering::Relaxed) as u64);
+        mc_obs::history().push(source.sample(mc_obs::epoch_us() / 1000));
+        crate::join::sleep_until_shutdown(shared, interval);
     }
 }
 
@@ -391,6 +435,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Request::Metrics => Response::Metrics {
                 text: mc_obs::registry().render(),
             },
+            Request::MetricsHistory => Response::MetricsHistory {
+                at_ms: mc_obs::epoch_us() / 1000,
+                windows: mc_obs::history().standard_windows(),
+            },
+            Request::ProfDump => Response::ProfDump {
+                phases: mc_obs::prof::snapshot(),
+            },
             Request::TraceDump { trace_id } => Response::TraceDump {
                 events: mc_obs::trace_dump(trace_id),
             },
@@ -434,21 +485,22 @@ fn entry_to_result(
     })
 }
 
+/// An `optimize` failure: counted (the history windows and SLO error
+/// rates read the counter) and answered as a protocol error.
+fn optimize_error(message: String) -> Response {
+    mc_obs::registry().counter("serve_errors_total").inc();
+    Response::Error { message }
+}
+
 fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Response::Error {
-            message: ERR_SHUTTING_DOWN.to_string(),
-        };
+        return optimize_error(ERR_SHUTTING_DOWN.to_string());
     }
     // A malformed upload is a protocol error, never a worker panic: the
     // parse happens here, behind `Result`, before anything is queued.
     let xag = match parse_circuit(&req.circuit, req.format) {
         Ok(xag) => xag,
-        Err(e) => {
-            return Response::Error {
-                message: e.to_string(),
-            }
-        }
+        Err(e) => return optimize_error(e.to_string()),
     };
     let spec = JobSpec {
         flow: req.flow,
@@ -499,6 +551,8 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
             mc_obs::registry()
                 .histogram("serve_cache_hit_us")
                 .record(lookup_start.elapsed().as_micros() as u64);
+            mc_obs::registry().counter("serve_cache_hits_total").inc();
+            mc_obs::registry().counter("serve_jobs_served_total").inc();
             mc_obs::instant("serve:cache_hit", format!("job={}", entry.job_id));
             shared
                 .stats
@@ -512,6 +566,8 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                 mc_obs::registry()
                     .histogram("serve_coalesced_wait_us")
                     .record(lookup_start.elapsed().as_micros() as u64);
+                mc_obs::registry().counter("serve_cache_hits_total").inc();
+                mc_obs::registry().counter("serve_jobs_served_total").inc();
                 mc_obs::instant("serve:coalesced_hit", format!("job={}", entry.job_id));
                 shared
                     .stats
@@ -520,11 +576,10 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                     .jobs_served += 1;
                 entry_to_result(&entry, true, req.output, trace_id)
             }
-            Err(_) => Response::Error {
-                message: ERR_JOB_DROPPED.to_string(),
-            },
+            Err(_) => optimize_error(ERR_JOB_DROPPED.to_string()),
         },
         Plan::Compute => {
+            mc_obs::registry().counter("serve_cache_misses_total").inc();
             let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = Job {
@@ -546,12 +601,11 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                     .expect("cache lock poisoned")
                     .pending
                     .remove(&key);
-                return Response::Error {
-                    message: ERR_SHUTTING_DOWN.to_string(),
-                };
+                return optimize_error(ERR_SHUTTING_DOWN.to_string());
             }
             match reply_rx.recv() {
                 Ok(entry) => {
+                    mc_obs::registry().counter("serve_jobs_served_total").inc();
                     shared
                         .stats
                         .lock()
@@ -559,17 +613,21 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                         .jobs_served += 1;
                     entry_to_result(&entry, false, req.output, trace_id)
                 }
-                Err(_) => Response::Error {
-                    message: ERR_JOB_DROPPED.to_string(),
-                },
+                Err(_) => optimize_error(ERR_JOB_DROPPED.to_string()),
             }
         }
     }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
+    // Occupancy gauges are set from the pool itself at every transition,
+    // so `Metrics` is live even between sampler ticks.
+    let queue_gauge = mc_obs::registry().gauge("serve_queue_depth");
+    let busy_gauge = mc_obs::registry().gauge("serve_workers_busy");
     while let Some(job) = shared.queue.pop() {
-        shared.busy.fetch_add(1, Ordering::Relaxed);
+        let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        busy_gauge.set(busy as u64);
+        queue_gauge.set(shared.queue.len() as u64);
         // The job ran under the submitter's trace from here on: queue
         // wait, every pass boundary, and the serialize span all join one
         // timeline, and the progress board answers `Status` mid-run.
@@ -615,7 +673,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         // The reader may have vanished (client hung up); the cache entry
         // is still useful, so ignore the send failure.
         let _ = job.reply.send(entry);
-        shared.busy.fetch_sub(1, Ordering::Relaxed);
+        let busy = shared.busy.fetch_sub(1, Ordering::Relaxed) - 1;
+        busy_gauge.set(busy as u64);
     }
 }
 
