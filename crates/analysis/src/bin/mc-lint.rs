@@ -1,0 +1,85 @@
+//! `mc-lint` — run the workspace-invariant lint rules.
+//!
+//! ```text
+//! mc-lint [--root DIR] [--json] [--deny-all] [--list-rules]
+//! ```
+//!
+//! Walks the workspace (the nearest ancestor of `--root`/cwd containing
+//! a `crates/` directory) and prints one `file:line: rule: message`
+//! diagnostic per finding. Exit status is nonzero when findings remain
+//! after `// lint: allow(rule): reason` suppressions; `--deny-all`
+//! additionally fails on warnings (allows that suppress nothing), which
+//! is what CI runs. `--json` prints the findings as a JSON array for
+//! tooling.
+
+use std::path::PathBuf;
+
+use xag_analysis::{lint_workspace, to_json, RULES};
+
+fn find_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return start,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in RULES {
+            println!("{rule}");
+        }
+        return;
+    }
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            find_root(std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+        });
+    let json = args.iter().any(|a| a == "--json");
+    let deny_all = args.iter().any(|a| a == "--deny-all");
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mc-lint: cannot read workspace at {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json(&report.findings));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for w in &report.warnings {
+            println!("{w} (warning)");
+        }
+        if report.findings.is_empty() && (report.warnings.is_empty() || !deny_all) {
+            println!(
+                "mc-lint: workspace clean ({} warnings)",
+                report.warnings.len()
+            );
+        }
+    }
+
+    let failed = !report.findings.is_empty() || (deny_all && !report.warnings.is_empty());
+    if failed {
+        eprintln!(
+            "mc-lint: {} finding(s), {} warning(s)",
+            report.findings.len(),
+            report.warnings.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,512 @@
+//! A hand-rolled Rust token scanner — deliberately **not** a parser.
+//!
+//! The workspace's offline policy rules out `syn`/`proc-macro2`, and the
+//! lint rules (lib.rs) only need a faithful token stream: identifiers
+//! and punctuation with line numbers, with string/char/number literal
+//! *content* discarded so a `"panic!"` inside a log message never trips
+//! a rule. The scanner handles the lexical corners that would otherwise
+//! produce false tokens: nested block comments, raw strings with any
+//! hash depth, byte strings, raw identifiers, and the lifetime-vs-char
+//! ambiguity after `'`.
+//!
+//! Two side channels ride along with the tokens:
+//!
+//! * `// lint: allow(rule): reason` comments become [`Allow`] records
+//!   (the suppression mechanism — lib.rs matches them to findings);
+//! * `#[cfg(test)]` / `#[test]` items can be stripped by
+//!   [`strip_test_code`], which returns them separately so the
+//!   protocol-exhaustiveness rule can still search test code for
+//!   variant mentions.
+
+/// One lexical token. Literal payloads are discarded on purpose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any string/char/byte/number literal, content dropped.
+    Literal,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A `// lint: allow(rule): reason` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Line the comment sits on; it suppresses findings on this line
+    /// and the next (so it can trail the offending expression or sit on
+    /// its own line directly above it).
+    pub line: usize,
+    /// Whether a non-empty `: reason` followed — mandatory per policy.
+    pub has_reason: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses the inside of a line comment for an allow directive.
+fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
+    let rest = comment.trim_start().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix(':')
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    Some(Allow {
+        rule,
+        line,
+        has_reason,
+    })
+}
+
+/// Scans Rust source into tokens and allow directives.
+pub fn scan(source: &str) -> Scan {
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Scan::default();
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (and the allow side channel).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(allow) = parse_allow(&text, line) {
+                out.allows.push(allow);
+            }
+            continue;
+        }
+        // Block comment, nesting included.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 1;
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 1;
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..." / r#"..."# / r#ident,
+        // plus byte-string variants br"..." / b"...".
+        if (c == 'r' || c == 'b')
+            && !matches!(out.tokens.last(), Some(t) if t.tok == Tok::Punct('\'') )
+        {
+            let mut j = i;
+            let mut saw_r = false;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                saw_r = true;
+                j += 1;
+            }
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') && (saw_r || hashes == 0) && (c != 'b' || j > i) {
+                if !saw_r && hashes == 0 && c == 'r' {
+                    // plain r" can't happen (saw_r true when c=='r'); guard anyway
+                }
+                if saw_r {
+                    // Raw string: runs to `"` followed by `hashes` hashes.
+                    let start_line = line;
+                    while i < j {
+                        bump!();
+                    }
+                    bump!(); // opening quote
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line: start_line,
+                    });
+                    continue;
+                } else if c == 'b' && hashes == 0 {
+                    // b"..." byte string: fall through to the normal
+                    // string scanner after consuming the `b`.
+                    bump!();
+                    // chars[i] is now the quote; handled below.
+                }
+            } else if saw_r
+                && hashes > 0
+                && chars.get(j).map(|&ch| is_ident_start(ch)) == Some(true)
+            {
+                // Raw identifier r#ident.
+                while i < j {
+                    bump!();
+                }
+                let start = i;
+                let start_line = line;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+        let c = chars[i];
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(n) if is_ident_start(n)) && !(matches!(after, Some('\'')));
+            if is_lifetime {
+                bump!();
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+            } else {
+                // Char literal, escapes included.
+                let start_line = line;
+                bump!();
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < chars.len() {
+                            bump!();
+                        }
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+        // Number literal (consume trailing ident chars and dots: 1_000u64, 1.5e-3).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < chars.len()
+                && (is_ident_continue(chars[i])
+                    || chars[i] == '.'
+                        && chars.get(i + 1).map(|c| c.is_ascii_digit()) == Some(true))
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            let start_line = line;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(chars[start..i].iter().collect()),
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        bump!();
+    }
+    out
+}
+
+/// Splits a token stream into (non-test, test) halves by stripping every
+/// item annotated `#[cfg(test)]` or `#[test]` (the following item, up to
+/// its matching closing brace or terminating semicolon).
+pub fn strip_test_code(tokens: &[Token]) -> (Vec<Token>, Vec<Token>) {
+    let mut kept = Vec::with_capacity(tokens.len());
+    let mut test = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(end) = test_attr_end(tokens, i) {
+            // Copy the attribute itself nowhere; skip the following item
+            // into the test half.
+            let item_end = item_end(tokens, end);
+            test.extend_from_slice(&tokens[end..item_end]);
+            i = item_end;
+            continue;
+        }
+        kept.push(tokens[i].clone());
+        i += 1;
+    }
+    (kept, test)
+}
+
+/// If `tokens[i]` starts a `#[cfg(test)]`-like or `#[test]` attribute,
+/// returns the index one past its closing `]`.
+fn test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.tok != Tok::Punct('#') || tokens.get(i + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    // `#[cfg(not(test))]` guards *production* code.
+                    let is_test_attr = saw_test && !saw_not && (saw_cfg || j == i + 3);
+                    return is_test_attr.then_some(j + 1);
+                }
+            }
+            Tok::Ident(s) if s == "cfg" => saw_cfg = true,
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            Tok::Ident(s) if s == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// One past the end of the item starting at `i`: consumes any further
+/// attributes, then runs to the matching `}` of the first brace at depth
+/// zero, or the first `;` before any brace opens (e.g. `use` items).
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while let Some(end) = attr_end(tokens, i) {
+        i = end;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// One past any attribute starting at `i` (test or not).
+fn attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.tok != Tok::Punct('#') || tokens.get(i + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn literals_hide_their_content() {
+        let src = r###"let s = "panic! unwrap()"; let r = r#"x.lock()"#; let c = 'u'; // plain
+            let b = b"expect("; let n = 1_000u64;"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|s| s == "panic" || s == "unwrap" || s == "lock" || s == "expect"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = scan("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Literal).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let s = scan("a /* x /* y */ z */ b\nc");
+        let ids = s
+            .tokens
+            .iter()
+            .map(|t| (t.tok.clone(), t.line))
+            .collect::<Vec<_>>();
+        assert_eq!(
+            ids,
+            vec![
+                (Tok::Ident("a".into()), 1),
+                (Tok::Ident("b".into()), 1),
+                (Tok::Ident("c".into()), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_directives_are_parsed_with_and_without_reason() {
+        let s = scan(
+            "x(); // lint: allow(no-panic-in-request-path): startup only\ny(); // lint: allow(determinism)\n",
+        );
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "no-panic-in-request-path");
+        assert!(s.allows[0].has_reason);
+        assert_eq!(s.allows[0].line, 1);
+        assert!(!s.allows[1].has_reason);
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped_but_retained() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\n#[test]\nfn unit() { c.unwrap(); }\nfn also_live() {}";
+        let (kept, test) = strip_test_code(&scan(src).tokens);
+        let kept_ids: Vec<_> = kept
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(kept_ids.contains(&"live") && kept_ids.contains(&"also_live"));
+        assert!(!kept_ids.contains(&"tests") && !kept_ids.contains(&"unit"));
+        let test_ids: Vec<_> = test
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(test_ids.contains(&"tests") && test_ids.contains(&"unit"));
+    }
+}

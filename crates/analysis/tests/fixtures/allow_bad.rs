@@ -1,0 +1,9 @@
+// Fixture: malformed allow directives. A bare allow (no reason) is a
+// finding, an unknown rule name is a finding, and a reasoned allow
+// that suppresses nothing is a warning.
+pub fn quiet() -> u32 {
+    // lint: allow(no-panic-in-request-path)
+    // lint: allow(made-up-rule): not a rule the engine knows
+    // lint: allow(determinism): nothing here reads the clock
+    7
+}

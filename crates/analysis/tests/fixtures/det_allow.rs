@@ -1,0 +1,5 @@
+// Fixture: a reasoned allow lets a scoped clock read through.
+pub fn stamp() -> u128 {
+    // lint: allow(determinism): feeds a metrics counter only; never branches
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock and environment reads in a rewrite-path crate.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn knob() -> Option<String> {
+    std::env::var("KNOB").ok()
+}

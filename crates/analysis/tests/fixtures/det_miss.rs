@@ -1,0 +1,4 @@
+// Fixture: deterministic code in a rewrite-path crate; nothing fires.
+pub fn stamp(counter: u64) -> u64 {
+    counter.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}

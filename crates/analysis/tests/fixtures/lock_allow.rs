@@ -1,0 +1,24 @@
+// Fixture: the same AB/BA cycle as lock_hit.rs, but the witness edge
+// carries a reasoned allow (say, the two paths are proven mutually
+// exclusive by a higher-level token).
+use std::sync::Mutex;
+
+pub struct Allowed {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Allowed {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        // lint: allow(lock-order): forward/backward are serialized by a startup token
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

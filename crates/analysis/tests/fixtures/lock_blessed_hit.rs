@@ -1,0 +1,16 @@
+// Fixture: acquires `pending` before `cache`, inverting the blessed
+// cache→pending order. No cycle — the inversion alone is the finding.
+use std::sync::Mutex;
+
+pub struct Store {
+    cache: Mutex<u32>,
+    pending: Mutex<u32>,
+}
+
+impl Store {
+    pub fn inverted(&self) -> u32 {
+        let p = self.pending.lock().unwrap();
+        let c = self.cache.lock().unwrap();
+        *p + *c
+    }
+}

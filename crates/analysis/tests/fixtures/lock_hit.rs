@@ -1,0 +1,22 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — the classic AB/BA deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

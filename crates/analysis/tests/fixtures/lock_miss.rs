@@ -1,0 +1,30 @@
+// Fixture: both functions acquire a before b — consistent order, no
+// cycle. Dropping a guard or letting a temporary die also releases it.
+use std::sync::Mutex;
+
+pub struct Ordered {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn both(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let x = *self.b.lock().unwrap(); // temporary guard dies here
+        let ga = self.a.lock().unwrap();
+        *ga + x
+    }
+
+    pub fn dropped(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let x = *gb;
+        drop(gb);
+        let ga = self.a.lock().unwrap();
+        *ga + x
+    }
+}

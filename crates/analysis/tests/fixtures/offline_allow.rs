@@ -1,0 +1,5 @@
+// Fixture: a reasoned allow on the offline rule.
+pub fn dial() {
+    // lint: allow(offline-policy): documents the allow path for the fixture suite
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+}

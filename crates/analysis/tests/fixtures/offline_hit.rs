@@ -1,0 +1,9 @@
+// Fixture: subprocess spawning and a raw socket dial outside the
+// allow-listed client/health modules.
+pub fn shell() {
+    let _ = std::process::Command::new("ls");
+}
+
+pub fn dial() {
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+}

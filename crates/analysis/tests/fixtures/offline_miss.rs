@@ -1,0 +1,5 @@
+// Fixture: this path is on the connect allow-list (it plays the role
+// of the client module), so the dial is fine.
+pub fn dial() {
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+}

@@ -1,0 +1,9 @@
+// Fixture: every no-panic-in-request-path pattern fires.
+pub fn handle(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let parsed: u8 = std::str::from_utf8(buf).unwrap().parse().expect("digit");
+    if parsed == 0 {
+        panic!("zero");
+    }
+    first + parsed
+}

@@ -1,0 +1,6 @@
+// Fixture: fallible patterns that the panic rule must NOT flag.
+pub fn handle(buf: &[u8]) -> Result<u8, String> {
+    let first = *buf.get(0).ok_or("empty")?;
+    let tail = &buf[..]; // full-range slice is not indexing
+    Ok(first.wrapping_add(tail.len() as u8))
+}

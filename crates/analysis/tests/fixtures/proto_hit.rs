@@ -1,0 +1,30 @@
+// Fixture: `Orphan` is encoded but never decoded and never tested —
+// two protocol-exhaustiveness findings.
+pub enum Request {
+    Optimize,
+    Orphan,
+}
+
+impl Request {
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Optimize => "optimize".to_string(),
+            Request::Orphan => "orphan".to_string(),
+        }
+    }
+
+    pub fn from_payload(text: &str) -> Option<Request> {
+        match text {
+            "optimize" => Some(Request::Optimize),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_optimize() {
+        let _ = super::Request::Optimize;
+    }
+}

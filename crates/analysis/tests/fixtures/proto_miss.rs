@@ -1,0 +1,32 @@
+// Fixture: every variant has an encode site, a decode site, and a test
+// mention — nothing fires.
+pub enum Request {
+    Optimize,
+    Stats,
+}
+
+impl Request {
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Optimize => "optimize".to_string(),
+            Request::Stats => "stats".to_string(),
+        }
+    }
+
+    pub fn from_payload(text: &str) -> Option<Request> {
+        match text {
+            "optimize" => Some(Request::Optimize),
+            "stats" => Some(Request::Stats),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_both() {
+        let _ = super::Request::Optimize;
+        let _ = super::Request::Stats;
+    }
+}

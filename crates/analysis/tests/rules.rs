@@ -1,0 +1,301 @@
+//! Fixture-driven tests for the lint engine: every rule gets a hit, a
+//! miss, and an allow path, plus a self-check that the live workspace
+//! is clean under the same engine CI runs.
+
+use xag_analysis::{
+    lint, lint_workspace, scan_sources, Config, Report, RULE_ALLOW, RULE_DETERMINISM,
+    RULE_LOCK_ORDER, RULE_OFFLINE, RULE_PANIC, RULE_PROTOCOL,
+};
+
+/// A config whose scopes bite on the fixture file names.
+fn fixture_cfg() -> Config {
+    Config {
+        panic_path_files: vec![
+            "panic_hit.rs".to_string(),
+            "panic_miss.rs".to_string(),
+            "panic_allow.rs".to_string(),
+        ],
+        time_forbidden: vec!["det_".to_string()],
+        env_allowed: Vec::new(),
+        connect_allowed: vec!["offline_miss.rs".to_string()],
+        blessed_lock_order: vec![("cache".to_string(), "pending".to_string())],
+        protocol_file: None,
+    }
+}
+
+fn run(cfg: &Config, files: &[(&str, &str)], manifests: &[(&str, &str)]) -> Report {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let manifests: Vec<(String, String)> = manifests
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let scans = scan_sources(&sources);
+    lint(&scans, &manifests, cfg)
+}
+
+fn rendered(report: &Report) -> String {
+    report
+        .findings
+        .iter()
+        .chain(report.warnings.iter())
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn panic_rule_hit_miss_allow() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[("panic_hit.rs", include_str!("fixtures/panic_hit.rs"))],
+        &[],
+    );
+    let hit_rules: Vec<_> = hit.findings.iter().map(|f| f.rule).collect();
+    assert!(
+        hit.findings.len() >= 4,
+        "expected indexing + unwrap + expect + panic!, got:\n{}",
+        rendered(&hit)
+    );
+    assert!(hit_rules.iter().all(|&r| r == RULE_PANIC));
+
+    let miss = run(
+        &cfg,
+        &[("panic_miss.rs", include_str!("fixtures/panic_miss.rs"))],
+        &[],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+
+    let allow = run(
+        &cfg,
+        &[("panic_allow.rs", include_str!("fixtures/panic_allow.rs"))],
+        &[],
+    );
+    assert!(allow.findings.is_empty(), "{}", rendered(&allow));
+    assert!(
+        allow.warnings.is_empty(),
+        "allow should be used: {}",
+        rendered(&allow)
+    );
+}
+
+#[test]
+fn determinism_rule_hit_miss_allow() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[("det_hit.rs", include_str!("fixtures/det_hit.rs"))],
+        &[],
+    );
+    assert_eq!(hit.findings.len(), 2, "{}", rendered(&hit));
+    assert!(hit.findings.iter().all(|f| f.rule == RULE_DETERMINISM));
+    assert!(hit
+        .findings
+        .iter()
+        .any(|f| f.message.contains("Instant::now")));
+    assert!(hit.findings.iter().any(|f| f.message.contains("env")));
+
+    let miss = run(
+        &cfg,
+        &[("det_miss.rs", include_str!("fixtures/det_miss.rs"))],
+        &[],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+
+    // Out of scope, the same clock read is fine.
+    let unscoped = run(
+        &cfg,
+        &[("other.rs", include_str!("fixtures/det_allow.rs"))],
+        &[],
+    );
+    assert!(
+        unscoped.findings.iter().all(|f| f.rule != RULE_DETERMINISM),
+        "{}",
+        rendered(&unscoped)
+    );
+
+    let allow = run(
+        &cfg,
+        &[("det_allow.rs", include_str!("fixtures/det_allow.rs"))],
+        &[],
+    );
+    assert!(allow.findings.is_empty(), "{}", rendered(&allow));
+    assert!(allow.warnings.is_empty(), "{}", rendered(&allow));
+}
+
+#[test]
+fn lock_order_rule_hit_miss_allow() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[("lock_hit.rs", include_str!("fixtures/lock_hit.rs"))],
+        &[],
+    );
+    assert_eq!(hit.findings.len(), 1, "{}", rendered(&hit));
+    assert_eq!(hit.findings[0].rule, RULE_LOCK_ORDER);
+    assert!(
+        hit.findings[0].message.contains("cycle"),
+        "{}",
+        rendered(&hit)
+    );
+
+    let miss = run(
+        &cfg,
+        &[("lock_miss.rs", include_str!("fixtures/lock_miss.rs"))],
+        &[],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+
+    let allow = run(
+        &cfg,
+        &[("lock_allow.rs", include_str!("fixtures/lock_allow.rs"))],
+        &[],
+    );
+    assert!(allow.findings.is_empty(), "{}", rendered(&allow));
+    assert!(allow.warnings.is_empty(), "{}", rendered(&allow));
+}
+
+#[test]
+fn lock_order_blessed_inversion_fires() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[(
+            "lock_blessed_hit.rs",
+            include_str!("fixtures/lock_blessed_hit.rs"),
+        )],
+        &[],
+    );
+    assert_eq!(hit.findings.len(), 1, "{}", rendered(&hit));
+    assert!(
+        hit.findings[0].message.contains("inverting the blessed"),
+        "{}",
+        rendered(&hit)
+    );
+}
+
+#[test]
+fn offline_rule_hit_miss_allow() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[("offline_hit.rs", include_str!("fixtures/offline_hit.rs"))],
+        &[],
+    );
+    assert_eq!(hit.findings.len(), 2, "{}", rendered(&hit));
+    assert!(hit.findings.iter().all(|f| f.rule == RULE_OFFLINE));
+
+    // Same dial, allow-listed path: clean.
+    let miss = run(
+        &cfg,
+        &[("offline_miss.rs", include_str!("fixtures/offline_miss.rs"))],
+        &[],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+
+    let allow = run(
+        &cfg,
+        &[(
+            "offline_allow.rs",
+            include_str!("fixtures/offline_allow.rs"),
+        )],
+        &[],
+    );
+    assert!(allow.findings.is_empty(), "{}", rendered(&allow));
+    assert!(allow.warnings.is_empty(), "{}", rendered(&allow));
+}
+
+#[test]
+fn offline_manifest_hit_and_miss() {
+    let cfg = fixture_cfg();
+    let hit = run(
+        &cfg,
+        &[],
+        &[(
+            "hit/Cargo.toml",
+            include_str!("fixtures/offline_manifest_hit.toml"),
+        )],
+    );
+    assert_eq!(hit.findings.len(), 1, "{}", rendered(&hit));
+    assert_eq!(hit.findings[0].rule, RULE_OFFLINE);
+    assert!(
+        hit.findings[0].message.contains("serde"),
+        "{}",
+        rendered(&hit)
+    );
+
+    let miss = run(
+        &cfg,
+        &[],
+        &[(
+            "miss/Cargo.toml",
+            include_str!("fixtures/offline_manifest_miss.toml"),
+        )],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+}
+
+#[test]
+fn protocol_rule_hit_and_miss() {
+    let mut cfg = fixture_cfg();
+    cfg.protocol_file = Some("proto_hit.rs".to_string());
+    let hit = run(
+        &cfg,
+        &[("proto_hit.rs", include_str!("fixtures/proto_hit.rs"))],
+        &[],
+    );
+    assert_eq!(hit.findings.len(), 2, "{}", rendered(&hit));
+    assert!(hit.findings.iter().all(|f| f.rule == RULE_PROTOCOL));
+    assert!(hit.findings.iter().all(|f| f.message.contains("Orphan")));
+    assert!(hit.findings.iter().any(|f| f.message.contains("decode")));
+    assert!(hit.findings.iter().any(|f| f.message.contains("test")));
+
+    cfg.protocol_file = Some("proto_miss.rs".to_string());
+    let miss = run(
+        &cfg,
+        &[("proto_miss.rs", include_str!("fixtures/proto_miss.rs"))],
+        &[],
+    );
+    assert!(miss.findings.is_empty(), "{}", rendered(&miss));
+}
+
+#[test]
+fn malformed_allows_are_findings_and_unused_allows_warn() {
+    let cfg = fixture_cfg();
+    let report = run(
+        &cfg,
+        &[("allow_bad.rs", include_str!("fixtures/allow_bad.rs"))],
+        &[],
+    );
+    assert_eq!(report.findings.len(), 2, "{}", rendered(&report));
+    assert!(report.findings.iter().all(|f| f.rule == RULE_ALLOW));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("no reason")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("unknown rule")));
+    assert_eq!(report.warnings.len(), 2, "{}", rendered(&report));
+    assert!(report
+        .warnings
+        .iter()
+        .all(|w| w.message.contains("suppresses nothing")));
+}
+
+/// The same self-check CI runs: the engine, pointed at the live
+/// workspace, must come back clean (no findings, no unused allows).
+#[test]
+fn live_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.findings.is_empty() && report.warnings.is_empty(),
+        "mc-lint is not clean on the live workspace:\n{}",
+        rendered(&report)
+    );
+}

@@ -80,6 +80,7 @@ pub mod registry;
 pub mod ring;
 pub mod router;
 pub mod slo;
+pub(crate) mod sync;
 
 pub use health::{ping_addr, HealthConfig};
 pub use registry::{Backend, Choice, Registry};

@@ -106,7 +106,7 @@ impl Registry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state.lock().expect("registry lock poisoned")
+        crate::sync::lock_unpoisoned(&self.state)
     }
 
     /// Registers (or re-registers) the backend at `addr`; returns its id.
@@ -139,6 +139,7 @@ impl Registry {
                 id
             }
         };
+        // lint: allow(no-panic-in-request-path): id was just looked up or inserted under this same lock
         let b = s.backends.get_mut(&id).expect("registered above");
         b.capacity = capacity.max(1);
         b.queue_capacity = queue_capacity;
@@ -280,7 +281,9 @@ impl Registry {
             if exclude.contains(&id) {
                 continue;
             }
-            let b = &s.backends[&id];
+            let Some(b) = s.backends.get(&id) else {
+                continue; // ring can briefly lag a backend removal
+            };
             if !b.up {
                 continue;
             }
@@ -320,6 +323,7 @@ impl Registry {
         if up.is_empty() {
             return None;
         }
+        // lint: allow(no-panic-in-request-path): index is modulo the non-empty vec length
         let b = up[(pick % up.len() as u64) as usize];
         Some(Choice {
             id: b.id,

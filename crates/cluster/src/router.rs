@@ -56,6 +56,7 @@ use crate::health::{health_loop, poll_addr, HealthConfig};
 use crate::registry::{Backend, Choice, Registry};
 use crate::ring::DEFAULT_REPLICAS;
 use crate::slo::{SloMachine, SloState, SloThresholds};
+use crate::sync::lock_unpoisoned;
 
 /// How `optimize` jobs are placed onto backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -180,15 +181,11 @@ impl RouterShared {
     }
 
     fn pool_take(&self, id: u64) -> Option<Client> {
-        self.pool
-            .lock()
-            .expect("pool lock poisoned")
-            .get_mut(&id)
-            .and_then(Vec::pop)
+        lock_unpoisoned(&self.pool).get_mut(&id).and_then(Vec::pop)
     }
 
     fn pool_put(&self, id: u64, client: Client) {
-        let mut pool = self.pool.lock().expect("pool lock poisoned");
+        let mut pool = lock_unpoisoned(&self.pool);
         let slot = pool.entry(id).or_default();
         if slot.len() < POOL_PER_BACKEND {
             slot.push(client);
@@ -196,11 +193,11 @@ impl RouterShared {
     }
 
     fn pool_drop(&self, id: u64) {
-        self.pool.lock().expect("pool lock poisoned").remove(&id);
+        lock_unpoisoned(&self.pool).remove(&id);
     }
 
     fn draw(&self) -> u64 {
-        self.rng.lock().expect("rng lock poisoned").next_u64()
+        lock_unpoisoned(&self.rng).next_u64()
     }
 }
 
@@ -259,6 +256,7 @@ impl Router {
                         let on_down = |id: u64| shared.pool_drop(id);
                         health_loop(&shared.registry, &shared.shutdown, &health, &on_down);
                     })
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn health thread"),
             );
         }
@@ -268,6 +266,7 @@ impl Router {
                 std::thread::Builder::new()
                     .name("mc-cluster-listener".to_string())
                     .spawn(move || accept_loop(listener, &shared))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn listener thread"),
             );
         }
@@ -279,6 +278,7 @@ impl Router {
                 std::thread::Builder::new()
                     .name("mc-cluster-sampler".to_string())
                     .spawn(move || sampler_loop(&shared, interval, capacity))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn sampler thread"),
             );
         }
@@ -290,6 +290,7 @@ impl Router {
                 std::thread::Builder::new()
                     .name("mc-cluster-slo".to_string())
                     .spawn(move || slo_loop(&shared, &thresholds, interval))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn slo thread"),
             );
         }
@@ -631,7 +632,9 @@ fn poll_all_stats(shared: &Arc<RouterShared>) -> Vec<(Backend, Option<StatsInfo>
         snapshot
             .into_iter()
             .zip(polls)
-            .map(|(b, poll)| (b, poll.join().expect("stats poll thread")))
+            // A panicked poll thread degrades to "backend unpolled" instead
+            // of taking the connection thread (and its client) down.
+            .map(|(b, poll)| (b, poll.join().unwrap_or_default()))
             .collect()
     })
 }
@@ -730,7 +733,9 @@ fn poll_up_backends(
         snapshot
             .into_iter()
             .zip(polls)
-            .map(|(b, poll)| (b, poll.join().expect("metrics poll thread")))
+            // Same degradation as poll_all_stats: a panicked poll thread
+            // yields None for that backend only.
+            .map(|(b, poll)| (b, poll.join().unwrap_or_default()))
             .collect()
     })
 }
@@ -910,7 +915,7 @@ fn slo_loop(shared: &Arc<RouterShared>, thresholds: &SloThresholds, interval: Du
             state if detail.is_empty() => format!("{}: recovering", state.as_str()),
             state => format!("{}: {detail}", state.as_str()),
         };
-        *shared.health.lock().expect("health lock poisoned") = summary;
+        *lock_unpoisoned(&shared.health) = summary;
         sleep_until_shutdown(shared, interval);
     }
 }
@@ -945,7 +950,7 @@ fn cluster_stats(shared: &Arc<RouterShared>) -> ClusterStatsInfo {
         jobs_retried: shared.jobs_retried.load(Ordering::Relaxed),
         affinity_hits: shared.affinity_hits.load(Ordering::Relaxed),
         affinity_fallbacks: shared.affinity_fallbacks.load(Ordering::Relaxed),
-        health: shared.health.lock().expect("health lock poisoned").clone(),
+        health: lock_unpoisoned(&shared.health).clone(),
         backends,
     }
 }

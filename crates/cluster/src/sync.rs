@@ -1,0 +1,16 @@
+//! Poison-tolerant lock acquisition for the routing path.
+//!
+//! Mirrors `mc-serve`'s helper: the router's locks (connection pool,
+//! RNG, health summary, registry state) guard state that stays
+//! structurally valid at every possible unwind point, so when a thread
+//! panics while holding one, the right response is to keep routing with
+//! the state as-is rather than cascade the panic into every connection
+//! thread that touches the lock next. The `no-panic-in-request-path`
+//! lint rule keeps bare `.lock().expect(…)` from creeping back in.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

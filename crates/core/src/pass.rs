@@ -131,6 +131,7 @@ pub(crate) fn rewrite_round(
         Objective::MultiplicativeComplexity => "mc_rewrite",
         Objective::Size => "size_rewrite",
     });
+    // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
     let start = Instant::now();
     let mut topo = TopoScratch::new();
     let mut order: Vec<NodeId> = Vec::new();
@@ -480,6 +481,7 @@ impl Pass for XorReduce {
 
     fn run(&self, xag: &mut Xag, _ctx: &mut OptContext) -> PassStats {
         let _round = mc_obs::prof::phase("xor_reduce");
+        // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
         let start = Instant::now();
         let ands_before = xag.num_ands();
         let xors_before = xag.num_xors();
@@ -517,6 +519,7 @@ impl Pass for Cleanup {
 
     fn run(&self, xag: &mut Xag, _ctx: &mut OptContext) -> PassStats {
         let _round = mc_obs::prof::phase("cleanup");
+        // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
         let start = Instant::now();
         let ands_before = xag.num_ands();
         let xors_before = xag.num_xors();

@@ -404,6 +404,7 @@ pub(crate) fn parallel_rewrite_round(
     pass_name: &str,
 ) -> PassStats {
     let _round = mc_obs::prof::phase("par_rewrite");
+    // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
     let start = Instant::now();
     let order = xag.live_gates();
     let (ands_before, xors_before) = crate::pass::count_gates(xag, &order);
@@ -428,6 +429,7 @@ pub(crate) fn parallel_rewrite_round(
         .counter("mc_shard_windows_total")
         .add(shards.len() as u64);
 
+    // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
     let propose_start = Instant::now();
     let mut propose_span = mc_obs::span("shard:propose");
     let mut proposals: Vec<Proposal> = Vec::new();
@@ -464,6 +466,11 @@ pub(crate) fn parallel_rewrite_round(
                         let _round = mc_obs::prof::phase("par_rewrite");
                         let mut mine: Vec<(usize, Vec<Proposal>, usize)> = Vec::new();
                         loop {
+                            // Schedule-fuzz crossing: inert in production
+                            // (one relaxed load), perturbs the claim race
+                            // under `tests/schedule_fuzz.rs` to prove the
+                            // commit is claim-order-independent.
+                            mc_rng::sched::yield_point(mc_rng::sched::site::SHARD_CLAIM);
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             if k >= claim.len() {
                                 break;
@@ -473,6 +480,7 @@ pub(crate) fn parallel_rewrite_round(
                             let (props, c) =
                                 propose_shard(frozen, &mut wctx, sets, &shards[si], pos, objective);
                             drop(_p);
+                            mc_rng::sched::yield_point(mc_rng::sched::site::SHARD_PROPOSE);
                             mine.push((si, props, c));
                         }
                         (mine, wctx)
@@ -511,6 +519,7 @@ pub(crate) fn parallel_rewrite_round(
         .histogram("mc_shard_propose_us")
         .record(propose_start.elapsed().as_micros() as u64);
 
+    // lint: allow(determinism): wall-clock feeds PassStats/metrics timing only; never branches on it
     let commit_start = Instant::now();
     let num_proposals = proposals.len();
     let applied = {

@@ -259,6 +259,7 @@ pub fn dump(trace_id: Option<u64>) -> Vec<TraceEvent> {
         .iter()
         .map(|r| r.events.lock().expect("trace ring poisoned"))
         .chain(std::iter::once(
+            // lint: allow(lock-order): distinct ring objects; the orphan ring is never registered
             orphans.events.lock().expect("trace ring poisoned"),
         ))
     {

@@ -35,6 +35,93 @@ pub struct Rng {
 
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
+pub mod sched {
+    //! Seeded schedule-perturbation hooks for concurrency tests.
+    //!
+    //! The propose/commit engine (`xag-mc`), the job queue and the
+    //! coalescing cache (`mc-serve`) call [`yield_point`] at the edges of
+    //! their critical sections. In production the hook is a single
+    //! relaxed atomic load of a zero and nothing else — the bench gate
+    //! holds that cost to the committed trajectory. Under
+    //! `tests/schedule_fuzz.rs` the hook is [`enable`]d with a seed, and
+    //! every crossing draws from a global SplitMix64 stream to decide
+    //! between proceeding, yielding the OS scheduler, or micro-sleeping —
+    //! shaking out interleavings that an unperturbed scheduler would
+    //! almost never produce, while staying reproducible enough to replay
+    //! a failing seed.
+    //!
+    //! The state is process-global, so tests that enable it must
+    //! serialize against each other (the schedule fuzzer takes a shared
+    //! mutex per scenario).
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// `0` means disabled; any other value is the live SplitMix64 state.
+    static STATE: AtomicU64 = AtomicU64::new(0);
+
+    /// Turns the hook on with a seed (coerced away from the reserved
+    /// disabled value).
+    pub fn enable(seed: u64) {
+        STATE.store(seed | 1, Ordering::SeqCst);
+    }
+
+    /// Turns the hook off; every later [`yield_point`] is a no-op again.
+    pub fn disable() {
+        STATE.store(0, Ordering::SeqCst);
+    }
+
+    /// True iff the hook is currently enabled.
+    pub fn enabled() -> bool {
+        STATE.load(Ordering::Relaxed) != 0
+    }
+
+    /// A schedule-perturbation point. `site` salts the decision so
+    /// distinct call sites diverge under the same seed.
+    #[inline]
+    pub fn yield_point(site: u32) {
+        if STATE.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        yield_point_enabled(site);
+    }
+
+    #[cold]
+    fn yield_point_enabled(site: u32) {
+        // Advance the global stream only while enabled, so a concurrent
+        // `disable` is never resurrected by a straggling increment.
+        let prev = STATE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+            (s != 0).then(|| s.wrapping_add(super::GOLDEN_GAMMA))
+        });
+        let Ok(state) = prev else { return };
+        let mut z = state.wrapping_add((site as u64).wrapping_mul(super::GOLDEN_GAMMA));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        match z % 8 {
+            0..=2 => std::thread::yield_now(),
+            3 => std::thread::sleep(std::time::Duration::from_micros(1 + (z >> 8) % 40)),
+            _ => {}
+        }
+    }
+
+    /// Stable site salts for the workspace's hook crossings, kept in one
+    /// place so seeds mean the same schedule across crates.
+    pub mod site {
+        /// `JobQueue::push`, before taking the queue lock.
+        pub const QUEUE_PUSH: u32 = 1;
+        /// `JobQueue::pop`, before taking the queue lock.
+        pub const QUEUE_POP: u32 = 2;
+        /// Coalescing-cache plan (lookup-or-register), before the lock.
+        pub const COALESCE_PLAN: u32 = 3;
+        /// Coalescing-cache commit, between insert and waiter wakeup.
+        pub const COALESCE_COMMIT: u32 = 4;
+        /// Shard propose worker, before claiming the next window.
+        pub const SHARD_CLAIM: u32 = 5;
+        /// Shard propose worker, after building a proposal.
+        pub const SHARD_PROPOSE: u32 = 6;
+    }
+}
+
 impl Rng {
     /// Creates a generator from a 64-bit seed. Equal seeds produce equal
     /// streams, on every platform, forever.
@@ -116,6 +203,21 @@ mod tests {
         assert!((2_700..3_300).contains(&hits), "p=0.3 gave {hits}/10000");
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn sched_hook_is_inert_until_enabled_and_off_after_disable() {
+        // Not enabled: a crossing must be a pure no-op.
+        assert!(!sched::enabled());
+        sched::yield_point(sched::site::QUEUE_PUSH);
+        sched::enable(0); // reserved seed is coerced to a live state
+        assert!(sched::enabled());
+        for s in 0..64 {
+            sched::yield_point(s); // must terminate quickly, never panic
+        }
+        sched::disable();
+        assert!(!sched::enabled());
+        sched::yield_point(sched::site::SHARD_CLAIM);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use xag_tt::hash::FxHashMap;
 
 /// One cached optimization result: both export formats plus the summary
 /// the original computation reported.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheEntry {
     /// Id of the job that computed the entry.
     pub job_id: u64,

@@ -1,0 +1,189 @@
+//! The coalescing result cache: the semantic LRU plus the in-flight
+//! pending map, under **one** lock.
+//!
+//! Holding both behind a single mutex makes lookup-or-register atomic:
+//! the *first* request to miss on a cold key is told to compute it;
+//! every request racing the same key parks an `mpsc` waiter and is
+//! answered from the commit — exactly one compute per key, the rest
+//! coalesced hits. This used to live inline in the server's request
+//! handler; it is its own type so the schedule fuzzer
+//! (`tests/schedule_fuzz.rs`) can drive the protocol directly with
+//! adversarial thread interleavings, and so the invariant has one
+//! auditable home.
+//!
+//! Lock discipline (see DESIGN.md §12): the pending map is *inside* the
+//! cache lock — there is no cache-lock→pending-lock pair to misorder —
+//! and no callback runs while the lock is held; waiter wakeups happen
+//! after release.
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Mutex};
+
+use mc_rng::sched;
+
+use crate::cache::{CacheEntry, SemanticCache};
+use crate::sync::lock_unpoisoned;
+
+/// What a request should do about a key, decided atomically by
+/// [`CoalescingCache::plan`].
+pub enum Plan {
+    /// The key is cached: answer immediately with this entry.
+    Hit(CacheEntry),
+    /// Another request is computing this key: block on the receiver and
+    /// answer with whatever the commit delivers. A dropped sender (the
+    /// computation was aborted) surfaces as `RecvError`.
+    Wait(mpsc::Receiver<CacheEntry>),
+    /// This request is the first to see the cold key: it must compute,
+    /// then [`CoalescingCache::commit`] (or [`CoalescingCache::abort`]).
+    Compute,
+}
+
+struct State {
+    cache: SemanticCache,
+    /// key → waiter senders of the requests coalesced onto the in-flight
+    /// computation of that key.
+    pending: HashMap<Vec<u8>, Vec<mpsc::Sender<CacheEntry>>>,
+}
+
+/// Cumulative counters of the underlying semantic cache, read in one
+/// locked snapshot for `stats` frames.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// The semantic cache and its coalescing pending map. See the [module
+/// documentation](self).
+pub struct CoalescingCache {
+    state: Mutex<State>,
+}
+
+impl CoalescingCache {
+    /// Creates a coalescing cache over a [`SemanticCache`] bounded to
+    /// `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                cache: SemanticCache::new(capacity),
+                pending: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Atomic lookup-or-register. The pending map is checked before the
+    /// cache so a coalesced request never counts a second miss on the
+    /// same cold key.
+    pub fn plan(&self, key: &[u8]) -> Plan {
+        sched::yield_point(sched::site::COALESCE_PLAN);
+        let mut s = lock_unpoisoned(&self.state);
+        if let Some(waiters) = s.pending.get_mut(key) {
+            let (tx, rx) = mpsc::channel();
+            waiters.push(tx);
+            Plan::Wait(rx)
+        } else if let Some(entry) = s.cache.get(key) {
+            Plan::Hit(entry)
+        } else {
+            s.pending.insert(key.to_vec(), Vec::new());
+            Plan::Compute
+        }
+    }
+
+    /// Commits a computed entry: inserts it into the cache and collects
+    /// the coalesced waiters atomically (a request arriving after the
+    /// lock releases sees the cache entry), then wakes the waiters
+    /// outside the lock. Returns how many waiters were coalesced.
+    pub fn commit(&self, key: &[u8], entry: &CacheEntry) -> usize {
+        sched::yield_point(sched::site::COALESCE_COMMIT);
+        let waiters = {
+            let mut s = lock_unpoisoned(&self.state);
+            s.cache.insert(key.to_vec(), entry.clone());
+            let waiters = s.pending.remove(key).unwrap_or_default();
+            for _ in &waiters {
+                s.cache.note_coalesced_hit();
+            }
+            waiters
+        };
+        sched::yield_point(sched::site::COALESCE_COMMIT);
+        let coalesced = waiters.len();
+        for waiter in waiters {
+            // A waiter whose connection vanished is not an error.
+            let _ = waiter.send(entry.clone());
+        }
+        coalesced
+    }
+
+    /// Abandons an in-flight key (the computation could not be queued).
+    /// Dropping the waiter senders wakes every coalesced request with a
+    /// `RecvError`.
+    pub fn abort(&self, key: &[u8]) {
+        lock_unpoisoned(&self.state).pending.remove(key);
+    }
+
+    /// One locked snapshot of the cache counters.
+    pub fn counters(&self) -> CacheCounters {
+        let s = lock_unpoisoned(&self.state);
+        CacheCounters {
+            hits: s.cache.hits(),
+            misses: s.cache.misses(),
+            evictions: s.cache.evictions(),
+            entries: s.cache.len(),
+            capacity: s.cache.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64) -> CacheEntry {
+        CacheEntry {
+            job_id: id,
+            ..CacheEntry::default()
+        }
+    }
+
+    #[test]
+    fn first_plan_computes_then_hits() {
+        let cc = CoalescingCache::new(4);
+        assert!(matches!(cc.plan(b"k"), Plan::Compute));
+        assert_eq!(cc.commit(b"k", &entry(1)), 0);
+        match cc.plan(b"k") {
+            Plan::Hit(e) => assert_eq!(e.job_id, 1),
+            _ => panic!("committed key must hit"),
+        }
+    }
+
+    #[test]
+    fn racing_plans_coalesce_onto_one_compute() {
+        let cc = CoalescingCache::new(4);
+        assert!(matches!(cc.plan(b"k"), Plan::Compute));
+        let Plan::Wait(rx1) = cc.plan(b"k") else {
+            panic!("second plan must wait")
+        };
+        let Plan::Wait(rx2) = cc.plan(b"k") else {
+            panic!("third plan must wait")
+        };
+        assert_eq!(cc.commit(b"k", &entry(7)), 2);
+        assert_eq!(rx1.recv().expect("waiter 1 woken").job_id, 7);
+        assert_eq!(rx2.recv().expect("waiter 2 woken").job_id, 7);
+        assert_eq!(cc.counters().hits, 2, "coalesced waiters count as hits");
+    }
+
+    #[test]
+    fn abort_wakes_waiters_with_error_and_clears_key() {
+        let cc = CoalescingCache::new(4);
+        assert!(matches!(cc.plan(b"k"), Plan::Compute));
+        let Plan::Wait(rx) = cc.plan(b"k") else {
+            panic!("must wait")
+        };
+        cc.abort(b"k");
+        assert!(rx.recv().is_err(), "aborted waiter sees a RecvError");
+        // The key is free again: the next request computes.
+        assert!(matches!(cc.plan(b"k"), Plan::Compute));
+    }
+}

@@ -59,14 +59,17 @@
 
 pub mod cache;
 pub mod client;
+pub mod coalesce;
 mod join;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub(crate) mod sync;
 
 pub use cache::{canonical_form, fingerprint, job_key, CacheEntry, SemanticCache};
 pub use client::{Client, ClientError};
+pub use coalesce::{CoalescingCache, Plan};
 pub use protocol::{
     read_frame, write_frame, BackendStats, ClusterStatsInfo, FlowTiming, FrameError, HeartbeatInfo,
     OptimizeRequest, OptimizeResult, RegisterInfo, Request, Response, StatsInfo, StatusInfo,

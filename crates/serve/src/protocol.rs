@@ -106,6 +106,7 @@ pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, FrameError>
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // lint: allow(no-panic-in-request-path): filled < 4 is the loop condition; slice is in range
         match reader.read(&mut len_buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 {

@@ -11,6 +11,10 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use mc_rng::sched;
+
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+
 /// Error returned by [`JobQueue::push`] on a closed queue; carries the
 /// rejected job back to the caller.
 #[derive(Debug, PartialEq, Eq)]
@@ -50,7 +54,7 @@ impl<T> JobQueue<T> {
 
     /// Jobs currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        lock_unpoisoned(&self.state).items.len()
     }
 
     /// True iff no job is queued.
@@ -66,15 +70,17 @@ impl<T> JobQueue<T> {
     /// Returns [`Closed`] with the job if the queue was closed before
     /// space became available.
     pub fn push(&self, job: T) -> Result<(), Closed<T>> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        sched::yield_point(sched::site::QUEUE_PUSH);
+        let mut state = lock_unpoisoned(&self.state);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock poisoned");
+            state = wait_unpoisoned(&self.not_full, state);
         }
         if state.closed {
             return Err(Closed(job));
         }
         state.items.push_back(job);
         drop(state);
+        sched::yield_point(sched::site::QUEUE_PUSH);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -82,24 +88,26 @@ impl<T> JobQueue<T> {
     /// Dequeues a job, blocking while the queue is empty. Returns `None`
     /// once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        sched::yield_point(sched::site::QUEUE_POP);
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.items.pop_front() {
                 drop(state);
+                sched::yield_point(sched::site::QUEUE_POP);
                 self.not_full.notify_one();
                 return Some(job);
             }
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = wait_unpoisoned(&self.not_empty, state);
         }
     }
 
     /// Closes the queue: wakes all blocked pushers (which fail) and
     /// poppers (which drain, then observe the close).
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }

@@ -23,7 +23,7 @@
 //! the queue and exit, blocked submitters get an error response, and
 //! readers exit on the next EOF or request.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -34,13 +34,15 @@ use xag_circuits::{parse_circuit, CircuitFormat};
 use xag_mc::{run_job, FlowKind, JobSpec, OptContext};
 use xag_network::{write_bristol, write_verilog, Xag};
 
-use crate::cache::{job_key, CacheEntry, SemanticCache};
+use crate::cache::{job_key, CacheEntry};
+use crate::coalesce::{CoalescingCache, Plan};
 use crate::protocol::{
     read_frame, write_frame, FlowTiming, FrameError, OptimizeRequest, OptimizeResult, Request,
     Response, StatsInfo, StatusInfo, ERR_JOB_DROPPED, ERR_SHUTTING_DOWN, MAX_JOB_ROUNDS,
     MAX_JOB_THREADS,
 };
 use crate::queue::JobQueue;
+use crate::sync::lock_unpoisoned;
 
 /// Configuration of [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -142,19 +144,11 @@ impl ServiceStats {
     }
 }
 
-/// The semantic cache plus the in-flight coalescing map, under one lock
-/// so lookup-or-register is atomic: the *first* request to miss on a key
-/// computes it; requests racing the same cold key park a waiter sender
-/// here and are answered from the commit — exactly one miss, the rest
-/// hits.
-struct CacheState {
-    cache: SemanticCache,
-    pending: HashMap<Vec<u8>, Vec<mpsc::Sender<CacheEntry>>>,
-}
-
 pub(crate) struct Shared {
     queue: JobQueue<Job>,
-    cache: Mutex<CacheState>,
+    /// The semantic cache plus the coalescing pending map; internally
+    /// locked — see [`CoalescingCache`].
+    cache: CoalescingCache,
     ctx: Mutex<OptContext>,
     stats: Mutex<ServiceStats>,
     pub(crate) shutdown: AtomicBool,
@@ -181,8 +175,8 @@ impl Shared {
     }
 
     fn stats(&self) -> StatsInfo {
-        let cs = self.cache.lock().expect("cache lock poisoned");
-        let stats = self.stats.lock().expect("stats lock poisoned");
+        let cache = self.cache.counters();
+        let stats = lock_unpoisoned(&self.stats);
         // Zero-filled rows for the canonical flows keep the per-flow
         // breakdown complete for the router and `serve_bench`; rows are
         // keyed by normalized spec, so alias and expansion submissions
@@ -197,11 +191,11 @@ impl Shared {
         StatsInfo {
             uptime_secs: self.started.elapsed().as_secs(),
             jobs_served: stats.jobs_served,
-            cache_hits: cs.cache.hits(),
-            cache_misses: cs.cache.misses(),
-            cache_evictions: cs.cache.evictions(),
-            cache_entries: cs.cache.len(),
-            cache_capacity: cs.cache.capacity(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            cache_capacity: cache.capacity,
             queue_depth: self.queue.len(),
             flows: per_flow
                 .iter()
@@ -234,10 +228,7 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
-            cache: Mutex::new(CacheState {
-                cache: SemanticCache::new(config.cache_capacity),
-                pending: HashMap::new(),
-            }),
+            cache: CoalescingCache::new(config.cache_capacity),
             ctx: Mutex::new(OptContext::new()),
             stats: Mutex::new(ServiceStats::new()),
             shutdown: AtomicBool::new(false),
@@ -254,6 +245,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("mc-serve-worker-{w}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn worker thread"),
             );
         }
@@ -263,6 +255,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name("mc-serve-listener".to_string())
                     .spawn(move || accept_loop(listener, &shared))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn listener thread"),
             );
         }
@@ -277,6 +270,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name("mc-serve-join".to_string())
                     .spawn(move || crate::join::join_loop(&shared, &router, &advertised, interval))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn join thread"),
             );
         }
@@ -288,6 +282,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name("mc-serve-sampler".to_string())
                     .spawn(move || sampler_loop(&shared, interval, capacity))
+                    // lint: allow(no-panic-in-request-path): bind-time startup; no client connection exists yet
                     .expect("spawn sampler thread"),
             );
         }
@@ -519,32 +514,11 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
     let _trace = mc_obs::trace_scope(trace_id);
     let lookup_start = Instant::now();
 
-    // Atomic lookup-or-register under the cache lock: a hit answers
+    // Atomic lookup-or-register in the coalescing cache: a hit answers
     // immediately; a key with an in-flight computation parks a waiter (a
     // coalesced hit, answered at commit); only a genuinely first miss
     // proceeds to compute.
-    enum Plan {
-        Hit(CacheEntry),
-        Wait(mpsc::Receiver<CacheEntry>),
-        Compute,
-    }
-    let plan = {
-        let mut cs = shared.cache.lock().expect("cache lock poisoned");
-        if let Some(waiters) = cs.pending.get_mut(&key) {
-            // Checked before the cache so a coalesced request never
-            // counts a second miss on the same cold key.
-            let (tx, rx) = mpsc::channel();
-            waiters.push(tx);
-            Plan::Wait(rx)
-        } else if let Some(entry) = cs.cache.get(&key) {
-            Plan::Hit(entry)
-        } else {
-            cs.pending.insert(key.clone(), Vec::new());
-            Plan::Compute
-        }
-    };
-
-    match plan {
+    match shared.cache.plan(&key) {
         Plan::Hit(entry) => {
             // The whole hit path is the locked lookup above — record it,
             // so "how fast is a warm job really" has an answer.
@@ -554,11 +528,7 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
             mc_obs::registry().counter("serve_cache_hits_total").inc();
             mc_obs::registry().counter("serve_jobs_served_total").inc();
             mc_obs::instant("serve:cache_hit", format!("job={}", entry.job_id));
-            shared
-                .stats
-                .lock()
-                .expect("stats lock poisoned")
-                .jobs_served += 1;
+            lock_unpoisoned(&shared.stats).jobs_served += 1;
             entry_to_result(&entry, true, req.output, trace_id)
         }
         Plan::Wait(rx) => match rx.recv() {
@@ -569,11 +539,7 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
                 mc_obs::registry().counter("serve_cache_hits_total").inc();
                 mc_obs::registry().counter("serve_jobs_served_total").inc();
                 mc_obs::instant("serve:coalesced_hit", format!("job={}", entry.job_id));
-                shared
-                    .stats
-                    .lock()
-                    .expect("stats lock poisoned")
-                    .jobs_served += 1;
+                lock_unpoisoned(&shared.stats).jobs_served += 1;
                 entry_to_result(&entry, true, req.output, trace_id)
             }
             Err(_) => optimize_error(ERR_JOB_DROPPED.to_string()),
@@ -595,22 +561,13 @@ fn handle_optimize(shared: &Arc<Shared>, req: OptimizeRequest) -> Response {
             if shared.queue.push(job).is_err() {
                 // Unregister the pending key; dropping its waiter senders
                 // wakes every coalesced request with the same error.
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .pending
-                    .remove(&key);
+                shared.cache.abort(&key);
                 return optimize_error(ERR_SHUTTING_DOWN.to_string());
             }
             match reply_rx.recv() {
                 Ok(entry) => {
                     mc_obs::registry().counter("serve_jobs_served_total").inc();
-                    shared
-                        .stats
-                        .lock()
-                        .expect("stats lock poisoned")
-                        .jobs_served += 1;
+                    lock_unpoisoned(&shared.stats).jobs_served += 1;
                     entry_to_result(&entry, false, req.output, trace_id)
                 }
                 Err(_) => optimize_error(ERR_JOB_DROPPED.to_string()),
@@ -644,22 +601,11 @@ fn worker_loop(shared: &Arc<Shared>) {
             format!("job={}", job.id),
         );
         let entry = compute(shared, job.id, job.xag, &job.spec);
-        // Commit and collect the coalesced waiters atomically, so a
-        // request arriving after this lock releases sees the cache entry.
-        let waiters = {
-            let mut cs = shared.cache.lock().expect("cache lock poisoned");
-            cs.cache.insert(job.key.clone(), entry.clone());
-            let waiters = cs.pending.remove(&job.key).unwrap_or_default();
-            for _ in &waiters {
-                cs.cache.note_coalesced_hit();
-            }
-            waiters
-        };
-        for waiter in waiters {
-            let _ = waiter.send(entry.clone());
-        }
+        // Commit into the coalescing cache; waiters racing this cold key
+        // are woken from the committed entry (exactly one compute).
+        shared.cache.commit(&job.key, &entry);
         {
-            let mut stats = shared.stats.lock().expect("stats lock poisoned");
+            let mut stats = lock_unpoisoned(&shared.stats);
             let key = job.spec.flow.normalized();
             let key = if stats.per_flow.contains_key(&key) || stats.per_flow.len() < MAX_FLOW_ROWS {
                 key
@@ -682,7 +628,7 @@ fn compute(shared: &Arc<Shared>, job_id: u64, mut xag: Xag, spec: &JobSpec) -> C
     // Fork the shared context so the optimization itself runs without
     // holding any lock; absorb afterwards so every worker benefits from
     // the representatives this job synthesized.
-    let mut ctx = shared.ctx.lock().expect("context lock poisoned").fork();
+    let mut ctx = lock_unpoisoned(&shared.ctx).fork();
     let run_start = Instant::now();
     let result = {
         let mut run_span = mc_obs::span("serve:run");
@@ -692,18 +638,16 @@ fn compute(shared: &Arc<Shared>, job_id: u64, mut xag: Xag, spec: &JobSpec) -> C
     mc_obs::registry()
         .histogram("serve_run_us")
         .record(run_start.elapsed().as_micros() as u64);
-    shared
-        .ctx
-        .lock()
-        .expect("context lock poisoned")
-        .absorb(ctx);
+    lock_unpoisoned(&shared.ctx).absorb(ctx);
 
     let serialize_start = Instant::now();
     let serialize_span = mc_obs::span("serve:serialize");
     let clean = xag.cleanup();
     let mut bristol = Vec::new();
+    // lint: allow(no-panic-in-request-path): Vec<u8> sink; io::Write cannot fail in memory
     write_bristol(&clean, &mut bristol).expect("in-memory write cannot fail");
     let mut verilog = Vec::new();
+    // lint: allow(no-panic-in-request-path): Vec<u8> sink; io::Write cannot fail in memory
     write_verilog(&clean, "optimized", &mut verilog).expect("in-memory write cannot fail");
     drop(serialize_span);
     mc_obs::registry()
@@ -714,7 +658,9 @@ fn compute(shared: &Arc<Shared>, job_id: u64, mut xag: Xag, spec: &JobSpec) -> C
         .inc();
     CacheEntry {
         job_id,
+        // lint: allow(no-panic-in-request-path): both writers emit ASCII only
         bristol: String::from_utf8(bristol).expect("bristol writer emits ASCII"),
+        // lint: allow(no-panic-in-request-path): both writers emit ASCII only
         verilog: String::from_utf8(verilog).expect("verilog writer emits ASCII"),
         ands_before: result.ands_before,
         xors_before: result.xors_before,
